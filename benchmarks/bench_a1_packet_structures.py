@@ -1,0 +1,12 @@
+"""§4.3.1 ablation — update packet structures (experiment A1).
+
+An ablation of a design choice the paper discusses but could not measure;
+see repro.harness.ablations and EXPERIMENTS.md for details.
+"""
+
+from .conftest import run_and_report
+
+
+def test_a1_packet_structures(benchmark, capsys):
+    """Run ablation A1 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A1")

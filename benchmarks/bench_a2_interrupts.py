@@ -1,0 +1,12 @@
+"""§5.1.3 ablation — blocking under interrupt reception (experiment A2).
+
+An ablation of a design choice the paper discusses but could not measure;
+see repro.harness.ablations and EXPERIMENTS.md for details.
+"""
+
+from .conftest import run_and_report
+
+
+def test_a2_interrupts(benchmark, capsys):
+    """Run ablation A2 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A2")

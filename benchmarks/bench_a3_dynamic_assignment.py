@@ -1,0 +1,12 @@
+"""§4.2 ablation — dynamic wire distribution (experiment A3).
+
+An ablation of a design choice the paper discusses but could not measure;
+see repro.harness.ablations and EXPERIMENTS.md for details.
+"""
+
+from .conftest import run_and_report
+
+
+def test_a3_dynamic_assignment(benchmark, capsys):
+    """Run ablation A3 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A3")

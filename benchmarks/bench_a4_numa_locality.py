@@ -1,0 +1,12 @@
+"""§5.3.2 ablation — hierarchical shared memory (experiment A4).
+
+An ablation of a design choice the paper discusses but could not measure;
+see repro.harness.ablations and EXPERIMENTS.md for details.
+"""
+
+from .conftest import run_and_report
+
+
+def test_a4_numa_locality(benchmark, capsys):
+    """Run ablation A4 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A4")

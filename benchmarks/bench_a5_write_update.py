@@ -1,0 +1,8 @@
+"""coherence protocol ablation — write-update vs invalidate (experiment A5)."""
+
+from .conftest import run_and_report
+
+
+def test_a5_write_update(benchmark, capsys):
+    """Run experiment A5 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A5")

@@ -1,0 +1,8 @@
+"""Footnote-3 ablation — coherence traffic vs finite cache size (A6)."""
+
+from .conftest import run_and_report
+
+
+def test_a6_cache_size(benchmark, capsys):
+    """Run ablation A6 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A6")

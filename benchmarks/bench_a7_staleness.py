@@ -1,0 +1,8 @@
+"""staleness ablation — view divergence vs update schedule (experiment A7)."""
+
+from .conftest import run_and_report
+
+
+def test_a7_staleness(benchmark, capsys):
+    """Run ablation A7 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A7")

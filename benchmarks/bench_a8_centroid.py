@@ -1,0 +1,8 @@
+"""heuristic ablation — centroid vs leftmost-pin assignment (experiment A8)."""
+
+from .conftest import run_and_report
+
+
+def test_a8_centroid(benchmark, capsys):
+    """Run ablation A8 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A8")

@@ -1,0 +1,8 @@
+"""Trace-granularity ablation — burst vs per-reference replay (A9)."""
+
+from .conftest import run_and_report
+
+
+def test_a9_trace_granularity(benchmark, capsys):
+    """Run ablation A9 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "A9")

@@ -1,0 +1,75 @@
+"""Microbenchmarks of the individual substrates.
+
+These time the building blocks in isolation — the two-bend evaluator, a
+full sequential routing run, the wormhole network under load, and the
+coherence protocol over a synthetic trace — so regressions in any layer
+show up independently of the experiment-level numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import Pin, bnre_like
+from repro.events import Simulator
+from repro.grid import CostArray
+from repro.memsim import AddressMap, ReferenceTrace, simulate_trace
+from repro.netsim import MeshTopology, Message, WormholeNetwork
+from repro.route import SequentialRouter, route_segment
+
+
+def test_two_bend_segment_eval(benchmark):
+    """One cross-channel segment evaluation on a congested array."""
+    rng = np.random.default_rng(42)
+    cost = CostArray(10, 341, rng.integers(0, 8, size=(10, 341)).astype(np.int32))
+    a, b = Pin(10, 1), Pin(250, 8)
+    seg = benchmark(lambda: route_segment(cost, a, b))
+    assert seg.cost >= 0
+
+
+def test_sequential_route_full_bnre(benchmark):
+    """Three full rip-up-and-reroute iterations over bnrE-like."""
+    circuit = bnre_like()
+
+    def run():
+        return SequentialRouter(circuit, iterations=3).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.quality.circuit_height > 0
+
+
+def test_wormhole_network_throughput(benchmark):
+    """Two thousand contended messages through the 4x4 mesh."""
+    rng = np.random.default_rng(7)
+    pairs = [
+        (int(s), int(d))
+        for s, d in rng.integers(0, 16, size=(2000, 2))
+        if s != d
+    ]
+
+    def run():
+        sim = Simulator()
+        count = []
+        net = WormholeNetwork(sim, MeshTopology(16), count.append)
+        for i, (s, d) in enumerate(pairs):
+            sim.at(i * 1e-6, lambda s=s, d=d: net.send(Message(s, d, 64, None)))
+        sim.run()
+        return len(count)
+
+    delivered = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert delivered == len(pairs)
+
+
+def test_coherence_protocol_throughput(benchmark):
+    """Replay a 2000-burst synthetic trace through the protocol."""
+    rng = np.random.default_rng(13)
+    trace = ReferenceTrace()
+    for i in range(2000):
+        cells = rng.integers(0, 10 * 341, size=rng.integers(1, 64))
+        trace.add(i * 1e-6, int(rng.integers(0, 16)), bool(rng.integers(0, 2)), cells)
+    amap = AddressMap(10, 341, 8)
+
+    stats = benchmark.pedantic(
+        lambda: simulate_trace(trace, 16, amap), rounds=1, iterations=1
+    )
+    assert stats.total_bytes > 0

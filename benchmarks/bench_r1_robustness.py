@@ -1,0 +1,8 @@
+"""Robustness sweep — core orderings across perturbed seeds (R1)."""
+
+from .conftest import run_and_report
+
+
+def test_r1_robustness(benchmark, capsys):
+    """Run the multi-seed robustness experiment."""
+    run_and_report(benchmark, capsys, "R1")

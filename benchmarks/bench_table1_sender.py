@@ -1,0 +1,12 @@
+"""Table 1 — sender initiated update strategies (experiment T1).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_table1_sender(benchmark, capsys):
+    """Reproduce T1 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "T1")

@@ -1,0 +1,12 @@
+"""Table 2 — non-blocking receiver initiated strategies (experiment T2).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_table2_receiver(benchmark, capsys):
+    """Reproduce T2 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "T2")

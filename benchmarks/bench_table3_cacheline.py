@@ -1,0 +1,12 @@
+"""Table 3 — shared memory traffic vs cache line size (experiment T3).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_table3_cacheline(benchmark, capsys):
+    """Reproduce T3 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "T3")

@@ -1,0 +1,12 @@
+"""Table 4 — locality effects, message passing (experiment T4).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_table4_locality_mp(benchmark, capsys):
+    """Reproduce T4 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "T4")

@@ -1,0 +1,12 @@
+"""Table 5 — locality effects, shared memory (experiment T5).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_table5_locality_sm(benchmark, capsys):
+    """Reproduce T5 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "T5")

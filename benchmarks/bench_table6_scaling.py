@@ -1,0 +1,12 @@
+"""Table 6 — processor-count scaling and speedup (experiment T6).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_table6_scaling(benchmark, capsys):
+    """Reproduce T6 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "T6")

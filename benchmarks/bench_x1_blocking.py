@@ -1,0 +1,12 @@
+"""§5.1.3 — blocking vs non-blocking receivers (experiment X1).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_x1_blocking(benchmark, capsys):
+    """Reproduce X1 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "X1")

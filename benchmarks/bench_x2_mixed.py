@@ -1,0 +1,12 @@
+"""§5.1.3 — the mixed update schedule (experiment X2).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_x2_mixed(benchmark, capsys):
+    """Reproduce X2 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "X2")

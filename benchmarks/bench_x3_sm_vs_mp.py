@@ -1,0 +1,12 @@
+"""§5.2 — shared memory vs message passing summary (experiment X3).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_x3_sm_vs_mp(benchmark, capsys):
+    """Reproduce X3 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "X3")

@@ -1,0 +1,12 @@
+"""§5.3.3 — the circuit locality measure (experiment X4).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_x4_locality_measure(benchmark, capsys):
+    """Reproduce X4 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "X4")

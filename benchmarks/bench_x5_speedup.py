@@ -1,0 +1,12 @@
+"""§5.4 — speedup at 16 processors (experiment X5).
+
+Regenerates the paper artefact at full benchmark scale and asserts its
+shape checks; see EXPERIMENTS.md for the recorded paper-vs-measured rows.
+"""
+
+from .conftest import run_and_report
+
+
+def test_x5_speedup(benchmark, capsys):
+    """Reproduce X5 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "X5")

@@ -1,0 +1,8 @@
+"""§3 — rip-up and reroute convergence (experiment X6)."""
+
+from .conftest import run_and_report
+
+
+def test_x6_iterations(benchmark, capsys):
+    """Run experiment X6 and verify its qualitative claims."""
+    run_and_report(benchmark, capsys, "X6")

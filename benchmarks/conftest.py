@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one paper experiment at full scale, prints the
+paper-vs-measured table (bypassing pytest capture so it lands in the
+console / tee'd log), asserts the experiment's shape checks, and reports
+its wall time through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentResult, run_experiment
+
+
+def run_and_report(benchmark, capsys, exp_id: str) -> ExperimentResult:
+    """Benchmark one experiment driver and print its rendered table."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, quick=False), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"{exp_id} failed shape checks: {failing}"
+    return result

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Dynamic wire distribution — the §4.2 road not taken.
+
+The paper rejected dynamic wire assignment for its message passing
+implementation because (a) task requests serviced only between wires can
+leave processors idle "for an entire wire", and (b) CBS could not simulate
+interrupt-driven reception.  This reproduction's event kernel can, so this
+example runs all three designs and measures the latency argument that
+drove the paper to static assignment.
+
+Run:  python examples/dynamic_assignment.py
+"""
+
+from dataclasses import replace
+
+from repro import UpdateSchedule, bnre_like, run_message_passing
+from repro.harness import render_table
+from repro.parallel import run_dynamic_assignment
+
+
+def main() -> None:
+    circuit = bnre_like()
+    schedule = UpdateSchedule.sender_initiated(2, 10)
+    print(circuit.describe(), "— one routing iteration, 16 processors\n")
+
+    static = run_message_passing(circuit, schedule, iterations=1)
+    polled = run_dynamic_assignment(circuit, schedule)
+    interrupt = run_dynamic_assignment(
+        circuit, replace(schedule, interrupt_reception=True)
+    )
+
+    rows = []
+    for label, result in (
+        ("static ThresholdCost=1000", static),
+        ("dynamic, polled master", polled),
+        ("dynamic, interrupt master", interrupt),
+    ):
+        rows.append(
+            {
+                "scheme": label,
+                "ckt_height": result.quality.circuit_height,
+                "mbytes": round(result.mbytes_transferred, 4),
+                "time_s": round(result.exec_time_s, 3),
+                "task_wait_ms": round(
+                    result.meta.get("mean_task_wait_s", 0.0) * 1e3, 2
+                ),
+            }
+        )
+    print(
+        render_table(
+            "wire distribution schemes",
+            ["scheme", "ckt_height", "mbytes", "time_s", "task_wait_ms"],
+            rows,
+        )
+    )
+    print(
+        "\nThe paper's reasoning, measured:\n"
+        f"  - a polled wire-assignment processor leaves requesters waiting\n"
+        f"    ~{polled.meta['mean_task_wait_s'] * 1e3:.1f} ms per task (it only answers between wires);\n"
+        f"  - interrupt servicing cuts that to "
+        f"~{interrupt.meta['mean_task_wait_s'] * 1e3:.1f} ms and makes dynamic\n"
+        f"    distribution competitive — but 1989's CBS couldn't model it,\n"
+        f"    so the paper (reasonably) went static."
+    )
+
+
+if __name__ == "__main__":
+    main()

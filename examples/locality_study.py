@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Locality in wire assignment (paper §4.2 / §5.3).
+
+Sweeps ThresholdCost from "balance everything" to "fully local" on both
+benchmark circuits, for both paradigms, and reports quality, traffic,
+execution time, the load imbalance that strict locality causes, and the
+paper's locality measure (mean mesh hops between the routing processor
+and each routed cell's owner).
+
+Run:  python examples/locality_study.py [--circuit bnrE|MDC]
+"""
+
+import argparse
+import math
+
+from repro import (
+    RoundRobinAssigner,
+    ThresholdCostAssigner,
+    UpdateSchedule,
+    bnre_like,
+    load_report,
+    locality_measure,
+    mdc_like,
+    run_message_passing,
+    run_shared_memory,
+)
+from repro.grid import RegionMap
+from repro.harness import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="bnrE", choices=["bnrE", "MDC"])
+    args = parser.parse_args()
+
+    circuit = bnre_like() if args.circuit == "bnrE" else mdc_like()
+    regions = RegionMap(circuit.n_channels, circuit.n_grids, 16)
+    print(circuit.describe(), "on a 4x4 processor mesh\n")
+
+    policies = [("round robin", RoundRobinAssigner(circuit, regions).assign())]
+    for tc in (10, 30, 100, 1000, math.inf):
+        policies.append(
+            (f"TC={tc:g}", ThresholdCostAssigner(circuit, regions, tc).assign())
+        )
+
+    schedule = UpdateSchedule.sender_initiated(2, 10)
+    rows = []
+    for label, assignment in policies:
+        balance = load_report(circuit, assignment)
+        mp = run_message_passing(circuit, schedule, assignment=assignment)
+        sm = run_shared_memory(circuit, assignment=assignment)
+        loc = locality_measure(regions, mp.paths, mp.wire_router)
+        rows.append(
+            {
+                "assignment": label,
+                "imbalance": round(balance.imbalance, 2),
+                "hops": round(loc.mean_hops, 2),
+                "own%": round(100 * loc.owned_fraction, 1),
+                "mp_height": mp.quality.circuit_height,
+                "mp_mbytes": round(mp.mbytes_transferred, 3),
+                "mp_time_s": round(mp.exec_time_s, 3),
+                "sm_height": sm.quality.circuit_height,
+                "sm_mbytes": round(sm.mbytes_transferred, 3),
+            }
+        )
+
+    print(
+        render_table(
+            f"locality sweep ({circuit.name})",
+            [
+                "assignment",
+                "imbalance",
+                "hops",
+                "own%",
+                "mp_height",
+                "mp_mbytes",
+                "mp_time_s",
+                "sm_height",
+                "sm_mbytes",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe §5.3.3 tension: pushing ThresholdCost up exploits more\n"
+        "locality (hops fall, traffic falls, quality improves slightly) but\n"
+        "the load imbalance grows until it dominates execution time — the\n"
+        "sweet spot is a moderate threshold, not either extreme."
+    )
+
+
+if __name__ == "__main__":
+    main()

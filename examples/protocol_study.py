@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Coherence-protocol study: invalidate vs update vs finite caches.
+
+The paper measures one protocol (Write-Back-with-Invalidate, infinite
+caches) and cites Archibald & Baer for the wider design space.  This
+example maps that space on LocusRoute's own traces: the paper's protocol,
+the write-update alternative, and finite direct-mapped caches of several
+sizes — all replayed from a single traced shared memory run, which is the
+beauty of the trace-driven methodology.
+
+Run:  python examples/protocol_study.py
+"""
+
+from repro import bnre_like, run_shared_memory
+from repro.harness import render_table
+from repro.memsim import (
+    AddressMap,
+    simulate_trace,
+    simulate_trace_finite,
+    simulate_trace_write_update,
+)
+
+
+def main() -> None:
+    circuit = bnre_like()
+    print(circuit.describe(), "— 16 processors, 8-byte cache lines\n")
+
+    # One traced run; every protocol variant replays the same references.
+    result = run_shared_memory(circuit, line_size=8, keep_trace=True)
+    trace = result.meta["trace"]
+    layout = result.meta["layout"]
+    amap = AddressMap(
+        circuit.n_channels,
+        circuit.n_grids,
+        8,
+        extra_words=layout.total_words - layout.array_words,
+    )
+    print(
+        f"trace: {trace.n_records} bursts, {trace.n_references} references\n"
+    )
+
+    rows = []
+    wbi = simulate_trace(trace, 16, amap)
+    rows.append(
+        {
+            "configuration": "write-back invalidate, infinite cache (paper)",
+            "mbytes": round(wbi.mbytes, 3),
+            "write_caused": f"{wbi.write_caused_fraction:.0%}",
+        }
+    )
+    upd = simulate_trace_write_update(trace, 16, amap)
+    rows.append(
+        {
+            "configuration": "write-update, infinite cache",
+            "mbytes": round(upd.mbytes, 3),
+            "write_caused": f"{upd.write_caused_fraction:.0%}",
+        }
+    )
+    for cache_lines in (64, 256, 1024):
+        finite = simulate_trace_finite(trace, 16, amap, cache_lines)
+        rows.append(
+            {
+                "configuration": f"write-back invalidate, {cache_lines}-line cache",
+                "mbytes": round(finite.mbytes, 3),
+                "write_caused": f"{finite.write_caused_fraction:.0%}",
+            }
+        )
+
+    print(
+        render_table(
+            "coherence traffic by protocol / cache configuration",
+            ["configuration", "mbytes", "write_caused"],
+            rows,
+        )
+    )
+    print(
+        "\nReadings:\n"
+        "  - finite caches add capacity misses on top of coherence traffic\n"
+        "    (the paper's footnote 3), converging to the infinite-cache\n"
+        "    number as the cache grows;\n"
+        "  - on this read-dominated sharing pattern a write-update protocol\n"
+        "    moves fewer bytes — invalidation's advantage is migratory\n"
+        "    data, which the cost array is not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Processor-count scaling (paper §5.4).
+
+Runs both paradigms from 1 to 16 processors and shows the three coupled
+trends of Table 6: execution time falls (speedup ~12 at 16 processors),
+solution quality degrades (more wires routed blind of each other), and
+message passing network traffic *peaks and then falls* as shrinking owned
+regions tighten the update bounding boxes.
+
+Run:  python examples/scaling_study.py [--circuit bnrE|MDC]
+"""
+
+import argparse
+
+from repro import UpdateSchedule, bnre_like, mdc_like, run_message_passing, run_shared_memory
+from repro.harness import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="bnrE", choices=["bnrE", "MDC"])
+    args = parser.parse_args()
+    circuit = bnre_like() if args.circuit == "bnrE" else mdc_like()
+    print(circuit.describe(), "\n")
+
+    schedule = UpdateSchedule.sender_initiated(2, 10)
+    rows = []
+    base_time = None
+    for n_procs in (1, 2, 4, 9, 16):
+        mp = run_message_passing(circuit, schedule, n_procs=n_procs)
+        sm = run_shared_memory(circuit, n_procs=n_procs, collect_trace=(n_procs > 1))
+        if n_procs == 2:
+            base_time = mp.exec_time_s
+        speedup = 2 * base_time / mp.exec_time_s if base_time else None
+        rows.append(
+            {
+                "procs": n_procs,
+                "mp_height": mp.quality.circuit_height,
+                "mp_mbytes": round(mp.mbytes_transferred, 3),
+                "mp_time_s": round(mp.exec_time_s, 3),
+                "speedup": round(speedup, 1) if speedup else None,
+                "sm_height": sm.quality.circuit_height,
+                "sm_mbytes": round(sm.mbytes_transferred, 3) if sm.coherence else None,
+            }
+        )
+
+    print(
+        render_table(
+            f"scaling study ({circuit.name}, sender initiated 2/10)",
+            [
+                "procs",
+                "mp_height",
+                "mp_mbytes",
+                "mp_time_s",
+                "speedup",
+                "sm_height",
+                "sm_mbytes",
+            ],
+            rows,
+            note="speedup normalised to the 2-processor run x 2, as in §5.4",
+        )
+    )
+    print(
+        "\nNote the §5.4 subtlety: falling traffic beyond 4 processors is\n"
+        "NOT less communication demand — quality is degrading at the same\n"
+        "time; the bounding boxes simply waste fewer bytes as the owned\n"
+        "regions shrink."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The headline comparison (paper §5.2 + conclusions), with breakdowns.
+
+Beyond the summary numbers, this example digs into *where* the bytes go:
+per-packet-kind traffic for message passing, per-component bus traffic for
+shared memory, cache line size sensitivity, and the delta-array
+cancellation statistic that explains the gap.
+
+Run:  python examples/shared_vs_message.py
+"""
+
+from repro import UpdateSchedule, bnre_like, run_message_passing, run_shared_memory
+from repro.harness import render_table
+
+
+def main() -> None:
+    circuit = bnre_like()
+    print(circuit.describe(), "on 16 processors\n")
+
+    sender = run_message_passing(circuit, UpdateSchedule.sender_initiated(2, 10))
+    receiver = run_message_passing(circuit, UpdateSchedule.receiver_initiated(1, 30))
+    sm = run_shared_memory(circuit, line_size=4, extra_line_sizes=(8, 16, 32))
+
+    rows = [
+        {
+            "version": label,
+            "ckt_height": r.quality.circuit_height,
+            "mbytes": round(r.mbytes_transferred, 4),
+            "time_s": round(r.exec_time_s, 3),
+        }
+        for label, r in (
+            ("shared memory (4B lines)", sm),
+            ("MP sender initiated 2/10", sender),
+            ("MP receiver initiated 1/30", receiver),
+        )
+    ]
+    print(render_table("paradigm comparison", ["version", "ckt_height", "mbytes", "time_s"], rows))
+
+    print("\nmessage passing traffic by packet kind (sender initiated):")
+    for kind, nbytes in sorted(sender.network.bytes_by_kind.items()):
+        count = sender.network.messages_by_kind[kind]
+        print(f"  {kind:15s} {nbytes / 1e6:7.4f} MB in {count:5d} packets")
+
+    print("\nshared memory bus traffic by component (4B lines):")
+    c = sm.coherence
+    for label, nbytes in (
+        ("cold fetches", c.cold_fetch_bytes),
+        ("refetches after invalidation", c.refetch_bytes),
+        ("word writes (first write to clean line)", c.word_write_bytes),
+        ("write-miss fetches", c.write_miss_fetch_bytes),
+    ):
+        print(f"  {label:42s} {nbytes / 1e6:7.4f} MB")
+    print(f"  -> {c.write_caused_fraction:.0%} of bytes caused by writes (paper: >80%)")
+
+    print("\nshared memory traffic vs cache line size (Table 3):")
+    for ls, stats in sorted(sm.meta["coherence_by_line_size"].items()):
+        print(f"  {ls:3d} B lines: {stats['mbytes']:.3f} MB")
+
+    ratio_sm = sm.mbytes_transferred / sender.mbytes_transferred
+    ratio_mp = sender.mbytes_transferred / max(receiver.mbytes_transferred, 1e-9)
+    print(
+        f"\nthe paper's conclusion, reproduced: explicit delta-array updates\n"
+        f"cut communication to 1/{ratio_sm:.0f} of the coherence traffic\n"
+        f"(receiver initiated: another 1/{ratio_mp:.0f}), at a "
+        f"{sm.quality.circuit_height / sender.quality.circuit_height:.0%}-of-SM\n"
+        f"quality cost — programmer effort buys bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

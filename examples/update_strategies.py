@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Explore the update-strategy design space of paper §4.3 / §5.1.
+
+LocusRoute tolerates stale cost data, so the message passing programmer
+chooses *how consistent* the replicated cost array should be.  This
+example sweeps the four strategy families — sender initiated, non-blocking
+receiver initiated, blocking receiver initiated, and mixed — and prints
+the quality / traffic / time tradeoff each one buys.
+
+Run:  python examples/update_strategies.py [--wires N]
+"""
+
+import argparse
+
+from repro import UpdateSchedule, bnre_like, run_message_passing
+from repro.harness import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--wires", type=int, default=None, help="shrink the circuit")
+    args = parser.parse_args()
+
+    circuit = bnre_like(n_wires=args.wires)
+    print(circuit.describe(), "on 16 processors\n")
+
+    strategies = [
+        ("sender, eager (SRD=2 SLD=1)", UpdateSchedule.sender_initiated(2, 1)),
+        ("sender, default (SRD=2 SLD=10)", UpdateSchedule.sender_initiated(2, 10)),
+        ("sender, lazy (SRD=10 SLD=20)", UpdateSchedule.sender_initiated(10, 20)),
+        ("receiver, eager (RLD=1 RRD=5)", UpdateSchedule.receiver_initiated(1, 5)),
+        ("receiver, lazy (RLD=10 RRD=30)", UpdateSchedule.receiver_initiated(10, 30)),
+        ("receiver, blocking (RLD=1 RRD=5)",
+         UpdateSchedule.receiver_initiated(1, 5, blocking=True)),
+        ("mixed (paper §5.1.3)", UpdateSchedule.mixed_example()),
+        ("silent (never update)", UpdateSchedule()),
+    ]
+
+    rows = []
+    for label, schedule in strategies:
+        result = run_message_passing(circuit, schedule)
+        rows.append(
+            {
+                "strategy": label,
+                "ckt_height": result.quality.circuit_height,
+                "occupancy": result.quality.occupancy_factor,
+                "mbytes": round(result.mbytes_transferred, 4),
+                "messages": result.network.n_messages,
+                "time_s": round(result.exec_time_s, 3),
+            }
+        )
+
+    print(
+        render_table(
+            "update strategy tradeoffs (bnrE-like)",
+            ["strategy", "ckt_height", "occupancy", "mbytes", "messages", "time_s"],
+            rows,
+        )
+    )
+    print(
+        "\nObservations to look for (paper §5.1):\n"
+        "  - eager sender schedules buy the best heights at ~10-100x the\n"
+        "    traffic of lazy receiver schedules;\n"
+        "  - blocking receivers pay a large time penalty for no quality gain;\n"
+        "  - even the silent run completes — LocusRoute tolerates stale\n"
+        "    data, it just routes a worse circuit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — reproduction of Martonosi & Gupta (ICPP 1989).
+
+*"Tradeoffs in Message Passing and Shared Memory Implementations of a
+Standard Cell Router"*: the LocusRoute standard cell router mapped to a
+message passing machine (CBS-style simulation with explicit cost-array
+update strategies) and to a shared memory machine (Tango-style traces
+through a write-back-invalidate coherence simulator), compared on network
+traffic, execution time, and solution quality.
+
+Quickstart
+----------
+>>> from repro import bnre_like, UpdateSchedule, run_message_passing
+>>> circuit = bnre_like()
+>>> result = run_message_passing(circuit, UpdateSchedule.sender_initiated(2, 10))
+>>> result.quality.circuit_height  # doctest: +SKIP
+>>> result.network.mbytes          # doctest: +SKIP
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table.
+"""
+
+from .assign import (
+    Assignment,
+    DistributedLoop,
+    RoundRobinAssigner,
+    ThresholdCostAssigner,
+    fully_local,
+    load_report,
+)
+from .circuits import (
+    Circuit,
+    Pin,
+    SyntheticCircuitConfig,
+    Wire,
+    bnre_like,
+    generate,
+    mdc_like,
+    tiny_test_circuit,
+)
+from .grid import BBox, CostArray, DeltaArray, RegionMap, proc_grid_shape
+from .parallel import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    ParallelRunResult,
+    run_message_passing,
+    run_shared_memory,
+)
+from .route import (
+    LocalityReport,
+    QualityReport,
+    RoutePath,
+    SequentialRouter,
+    circuit_height,
+    locality_measure,
+    route_wire,
+)
+from .updates import UpdateKind, UpdateSchedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # circuits
+    "Pin",
+    "Wire",
+    "Circuit",
+    "SyntheticCircuitConfig",
+    "generate",
+    "bnre_like",
+    "mdc_like",
+    "tiny_test_circuit",
+    # grid
+    "BBox",
+    "CostArray",
+    "DeltaArray",
+    "RegionMap",
+    "proc_grid_shape",
+    # routing
+    "RoutePath",
+    "SequentialRouter",
+    "route_wire",
+    "QualityReport",
+    "circuit_height",
+    "LocalityReport",
+    "locality_measure",
+    # assignment
+    "Assignment",
+    "RoundRobinAssigner",
+    "ThresholdCostAssigner",
+    "fully_local",
+    "DistributedLoop",
+    "load_report",
+    # updates
+    "UpdateKind",
+    "UpdateSchedule",
+    # parallel runs
+    "run_message_passing",
+    "run_shared_memory",
+    "ParallelRunResult",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+]

@@ -1,0 +1,22 @@
+"""Wire (task) assignment policies: round robin, ThresholdCost locality,
+and the shared-memory distributed loop, plus load-balance metrics."""
+
+from .base import Assignment, WireAssigner
+from .centroid import CentroidAssigner
+from .distributed_loop import DistributedLoop
+from .metrics import LoadReport, load_report
+from .round_robin import RoundRobinAssigner
+from .threshold import WORK_QUADRATIC_SCALE, ThresholdCostAssigner, fully_local
+
+__all__ = [
+    "Assignment",
+    "WireAssigner",
+    "RoundRobinAssigner",
+    "ThresholdCostAssigner",
+    "CentroidAssigner",
+    "fully_local",
+    "WORK_QUADRATIC_SCALE",
+    "DistributedLoop",
+    "LoadReport",
+    "load_report",
+]

@@ -1,0 +1,85 @@
+"""Wire-to-processor assignment interface.
+
+A *static* assignment (used by the message passing implementation, and by
+the shared memory locality study of Table 5) is simply a vector mapping
+each wire index to the processor that will route it.  :class:`Assignment`
+wraps that vector with validation and the derived views (per-processor
+wire lists in routing order) both simulators consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..circuits.model import Circuit
+from ..errors import AssignmentError
+from ..grid.regions import RegionMap
+
+__all__ = ["Assignment", "WireAssigner"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A static wire -> processor mapping.
+
+    Attributes
+    ----------
+    owner:
+        ``owner[w]`` is the processor routing wire ``w``.
+    n_procs:
+        Processor count (owners must lie in ``[0, n_procs)``).
+    method:
+        Human-readable label ("round robin", "ThresholdCost=30", ...).
+    """
+
+    owner: np.ndarray
+    n_procs: int
+    method: str
+
+    def __post_init__(self) -> None:
+        if self.owner.ndim != 1:
+            raise AssignmentError("owner vector must be one-dimensional")
+        if self.owner.size and (
+            int(self.owner.min()) < 0 or int(self.owner.max()) >= self.n_procs
+        ):
+            raise AssignmentError("assignment references an out-of-range processor")
+
+    @property
+    def n_wires(self) -> int:
+        """Number of wires assigned."""
+        return int(self.owner.size)
+
+    def wires_of(self, proc: int) -> np.ndarray:
+        """Wire indices assigned to *proc*, in routing order (ascending)."""
+        return np.flatnonzero(self.owner == proc)
+
+    def load_counts(self) -> np.ndarray:
+        """Wires per processor."""
+        return np.bincount(self.owner, minlength=self.n_procs)
+
+    def per_proc_lists(self) -> List[List[int]]:
+        """Wire lists per processor (plain ints, for the simulators)."""
+        return [self.wires_of(p).tolist() for p in range(self.n_procs)]
+
+
+class WireAssigner:
+    """Base class for static assignment policies.
+
+    Subclasses implement :meth:`assign`; the constructor captures the
+    circuit and region geometry every policy needs.
+    """
+
+    method_name = "abstract"
+
+    def __init__(self, circuit: Circuit, regions: RegionMap) -> None:
+        if regions.n_channels != circuit.n_channels or regions.n_grids != circuit.n_grids:
+            raise AssignmentError("region map does not match circuit dimensions")
+        self.circuit = circuit
+        self.regions = regions
+
+    def assign(self) -> Assignment:
+        """Produce the wire -> processor mapping."""
+        raise NotImplementedError

@@ -1,0 +1,66 @@
+"""Centroid-based locality assignment — the paper's suggested improvement.
+
+The paper's conclusions note that "more sophisticated wire assignment
+heuristics may further improve quality and reduce traffic".  The simplest
+such refinement: assign a wire to the owner of its *bounding-box centre*
+instead of its leftmost pin.  A leftmost-pin rule systematically places a
+wire at the left edge of its own footprint — every cell of the wire lies
+at or to the right of its assigned processor — while the centroid rule
+centres the footprint on the owner, roughly halving the expected
+cell-to-owner distance for long wires.
+
+:class:`CentroidAssigner` is otherwise identical to
+:class:`~repro.assign.threshold.ThresholdCostAssigner` (same cost
+measure, same ThresholdCost semantics, same LPT balancing of the long
+tail), so the two heuristics compare one variable at a time — which is
+what ``benchmarks/bench_a8_centroid.py`` measures.
+"""
+
+from __future__ import annotations
+
+from .base import Assignment
+from .threshold import ThresholdCostAssigner
+
+__all__ = ["CentroidAssigner"]
+
+
+class CentroidAssigner(ThresholdCostAssigner):
+    """ThresholdCost assignment by bounding-box centre instead of leftmost pin."""
+
+    @property
+    def method_name(self) -> str:  # type: ignore[override]
+        return f"Centroid/{super().method_name}"
+
+    def assign(self) -> Assignment:
+        """Assign local wires by footprint centre; LPT-balance the rest."""
+        import heapq
+
+        import numpy as np
+
+        n = self.circuit.n_wires
+        owner = np.full(n, -1, dtype=np.int64)
+        loads = [0.0] * self.regions.n_procs
+        held = []
+
+        for w in range(n):
+            wire = self.circuit.wire(w)
+            cost = self.wire_cost(w)
+            if cost < self.threshold_cost:
+                c_lo, x_lo, c_hi, x_hi = wire.bounding_box
+                proc = self.regions.owner_of((c_lo + c_hi) // 2, (x_lo + x_hi) // 2)
+                owner[w] = proc
+                loads[proc] += cost
+            else:
+                held.append((cost, w))
+
+        held.sort(key=lambda item: (-item[0], item[1]))
+        heap = [(loads[p], p) for p in range(self.regions.n_procs)]
+        heapq.heapify(heap)
+        for cost, w in held:
+            load, proc = heapq.heappop(heap)
+            owner[w] = proc
+            heapq.heappush(heap, (load + cost, proc))
+
+        return Assignment(
+            owner=owner, n_procs=self.regions.n_procs, method=self.method_name
+        )

@@ -1,0 +1,50 @@
+"""The shared-memory distributed loop (dynamic self-scheduling).
+
+Paper §3: "wire distribution can be easily accomplished using a
+distributed loop, in which processes are repeatedly given wires to route.
+When done with one wire, processes request another wire subscript.  When
+all the wires have been given out, processes are blocked at a barrier."
+
+:class:`DistributedLoop` is that shared counter.  The Tango-style shared
+memory simulator calls :meth:`next_wire` whenever a virtual processor goes
+idle; because the simulator serialises those calls in virtual-time order,
+the dynamic schedule is deterministic for a given circuit and timing
+model.  :meth:`reset` rearms the loop for the next routing iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import AssignmentError
+
+__all__ = ["DistributedLoop"]
+
+
+class DistributedLoop:
+    """A self-scheduling wire counter over a fixed wire order."""
+
+    def __init__(self, wire_order: Sequence[int]) -> None:
+        if len(set(wire_order)) != len(wire_order):
+            raise AssignmentError("wire_order contains duplicates")
+        self._order = list(wire_order)
+        self._next = 0
+        self.grabs = 0  #: total next_wire calls that returned a wire
+
+    @property
+    def remaining(self) -> int:
+        """Wires not yet handed out this iteration."""
+        return len(self._order) - self._next
+
+    def next_wire(self) -> Optional[int]:
+        """Hand out the next wire index, or ``None`` when exhausted."""
+        if self._next >= len(self._order):
+            return None
+        wire = self._order[self._next]
+        self._next += 1
+        self.grabs += 1
+        return wire
+
+    def reset(self) -> None:
+        """Rearm the loop for a new iteration (same wire order)."""
+        self._next = 0

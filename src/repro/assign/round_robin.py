@@ -1,0 +1,26 @@
+"""Round robin wire assignment — the extreme non-local policy.
+
+Paper §5.3.1: "The extreme non-local case is one which uses round robin
+wire assignment."  Wire ``w`` goes to processor ``w mod P``; loads are
+balanced to within one wire, but a processor's wires are scattered over
+the whole chip, maximising interference and update traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Assignment, WireAssigner
+
+__all__ = ["RoundRobinAssigner"]
+
+
+class RoundRobinAssigner(WireAssigner):
+    """Deal wires out cyclically, ignoring their location entirely."""
+
+    method_name = "round robin"
+
+    def assign(self) -> Assignment:
+        """Wire *w* -> processor ``w mod n_procs``."""
+        owner = np.arange(self.circuit.n_wires, dtype=np.int64) % self.regions.n_procs
+        return Assignment(owner=owner, n_procs=self.regions.n_procs, method=self.method_name)

@@ -1,0 +1,49 @@
+"""Standard cell circuit substrate: model, synthetic benchmarks, I/O, stats.
+
+The paper's two benchmark circuits (bnrE and MDC) were proprietary; this
+package supplies the data model plus seeded statistical stand-ins
+(:func:`bnre_like`, :func:`mdc_like`) with the published dimensions and
+wire counts.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .generate import (
+    BNRE_SEED,
+    MDC_SEED,
+    SyntheticCircuitConfig,
+    bnre_like,
+    generate,
+    mdc_like,
+    tiny_test_circuit,
+)
+from .io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_json,
+    load_text,
+    save_json,
+    save_text,
+)
+from .model import Circuit, Pin, Wire
+from .stats import CircuitStats, compute_stats, span_histogram
+
+__all__ = [
+    "Pin",
+    "Wire",
+    "Circuit",
+    "SyntheticCircuitConfig",
+    "generate",
+    "bnre_like",
+    "mdc_like",
+    "tiny_test_circuit",
+    "BNRE_SEED",
+    "MDC_SEED",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "save_json",
+    "load_json",
+    "save_text",
+    "load_text",
+    "CircuitStats",
+    "compute_stats",
+    "span_histogram",
+]

@@ -1,0 +1,208 @@
+"""Standard cell circuit model.
+
+LocusRoute (Rose, DAC '88) operates on a *standard cell* circuit abstraction:
+rows of cells separated by horizontal *routing channels*, with the horizontal
+extent of the chip divided into *routing grids* (columns).  A net ("wire")
+is a set of pins, each pin sitting at a (grid column, channel) coordinate.
+The router's job is to connect every wire's pins through the channel grid
+while minimising congestion, which is proportional to final circuit area.
+
+This module defines the immutable data model used by everything else:
+
+- :class:`Pin` — a single terminal at ``(x, channel)``.
+- :class:`Wire` — a named net with two or more pins.
+- :class:`Circuit` — a named collection of wires plus grid dimensions.
+
+Coordinates
+-----------
+``x`` is the horizontal routing-grid index, ``0 <= x < n_grids``.
+``channel`` is the horizontal routing-channel index, ``0 <= channel <
+n_channels``.  The cost array built over a circuit has shape
+``(n_channels, n_grids)``.
+
+Instances validate eagerly: a :class:`Circuit` can never hold an off-grid
+pin or a wire with fewer than two pins, which lets every downstream
+component assume well-formed input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import CircuitError
+
+__all__ = ["Pin", "Wire", "Circuit"]
+
+
+@dataclass(frozen=True, order=True)
+class Pin:
+    """A wire terminal at horizontal grid ``x`` on routing ``channel``.
+
+    Pins order lexicographically by ``(x, channel)``; the router relies on
+    this when chaining multi-pin wires left to right.
+    """
+
+    x: int
+    channel: int
+
+    def __post_init__(self) -> None:
+        if self.x < 0 or self.channel < 0:
+            raise CircuitError(
+                f"pin coordinates must be non-negative, got ({self.x}, {self.channel})"
+            )
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """Return ``(x, channel)`` as a plain tuple."""
+        return (self.x, self.channel)
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A net: an identifier plus two or more :class:`Pin` terminals.
+
+    The pin tuple is stored sorted by ``(x, channel)`` so that the two-bend
+    router can walk pins left to right without re-sorting, and so that two
+    wires with the same pin set always compare equal.
+    """
+
+    name: str
+    pins: Tuple[Pin, ...]
+
+    def __init__(self, name: str, pins: Iterable[Pin]) -> None:
+        pin_tuple = tuple(sorted(pins))
+        if len(pin_tuple) < 2:
+            raise CircuitError(f"wire {name!r} needs >= 2 pins, got {len(pin_tuple)}")
+        if len(set(pin_tuple)) != len(pin_tuple):
+            raise CircuitError(f"wire {name!r} has duplicate pins")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "pins", pin_tuple)
+
+    @property
+    def n_pins(self) -> int:
+        """Number of terminals on this wire."""
+        return len(self.pins)
+
+    @property
+    def leftmost_pin(self) -> Pin:
+        """The pin with the smallest ``x`` (ties broken by channel).
+
+        The ThresholdCost wire-assignment heuristic (paper §4.2) assigns a
+        wire to the processor owning the region of its leftmost pin.
+        """
+        return self.pins[0]
+
+    @property
+    def x_span(self) -> int:
+        """Horizontal extent in grid columns (max x − min x)."""
+        return self.pins[-1].x - self.pins[0].x
+
+    @property
+    def channel_span(self) -> int:
+        """Vertical extent in channels (max channel − min channel)."""
+        channels = [p.channel for p in self.pins]
+        return max(channels) - min(channels)
+
+    @property
+    def bounding_box(self) -> Tuple[int, int, int, int]:
+        """``(channel_lo, x_lo, channel_hi, x_hi)`` inclusive bounds."""
+        channels = [p.channel for p in self.pins]
+        return (min(channels), self.pins[0].x, max(channels), self.pins[-1].x)
+
+    def length_cost(self) -> int:
+        """The wire's *cost measure* used by ThresholdCost assignment.
+
+        Paper §4.2: "A cost measure is computed for each wire, based on its
+        length."  We use the total Manhattan length of the left-to-right
+        pin chain — the same chain the router actually routes — so the
+        measure grows with both span and pin count, and multi-pin nets can
+        exceed the chip width (making finite large thresholds such as 1000
+        meaningfully different from infinity).
+        """
+        total = 0
+        for a, b in zip(self.pins, self.pins[1:]):
+            total += abs(b.x - a.x) + abs(b.channel - a.channel)
+        return total
+
+    def segments(self) -> Iterator[Tuple[Pin, Pin]]:
+        """Yield consecutive pin pairs of the left-to-right chain."""
+        return zip(self.pins, self.pins[1:])
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A standard cell circuit: grid dimensions plus a wire list.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"bnrE-like"``).
+    n_channels:
+        Number of horizontal routing channels (vertical cost-array size).
+    n_grids:
+        Number of routing grid columns (horizontal cost-array size).
+    wires:
+        Tuple of :class:`Wire`; order defines wire indices everywhere.
+    """
+
+    name: str
+    n_channels: int
+    n_grids: int
+    wires: Tuple[Wire, ...] = field(default_factory=tuple)
+
+    def __init__(
+        self, name: str, n_channels: int, n_grids: int, wires: Sequence[Wire] = ()
+    ) -> None:
+        if n_channels < 1 or n_grids < 1:
+            raise CircuitError(
+                f"circuit {name!r}: dimensions must be positive, got "
+                f"{n_channels} channels x {n_grids} grids"
+            )
+        wire_tuple = tuple(wires)
+        names = [w.name for w in wire_tuple]
+        if len(set(names)) != len(names):
+            raise CircuitError(f"circuit {name!r} has duplicate wire names")
+        for wire in wire_tuple:
+            for pin in wire.pins:
+                if pin.x >= n_grids or pin.channel >= n_channels:
+                    raise CircuitError(
+                        f"circuit {name!r}: pin {pin.as_tuple()} of wire "
+                        f"{wire.name!r} lies outside the "
+                        f"{n_channels}x{n_grids} grid"
+                    )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "n_channels", n_channels)
+        object.__setattr__(self, "n_grids", n_grids)
+        object.__setattr__(self, "wires", wire_tuple)
+
+    @property
+    def n_wires(self) -> int:
+        """Number of wires in the circuit."""
+        return len(self.wires)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Cost-array shape ``(n_channels, n_grids)``."""
+        return (self.n_channels, self.n_grids)
+
+    def wire(self, index: int) -> Wire:
+        """Return the wire with the given index."""
+        return self.wires[index]
+
+    def with_wires(self, wires: Sequence[Wire]) -> "Circuit":
+        """Return a copy of this circuit with a different wire list."""
+        return Circuit(self.name, self.n_channels, self.n_grids, wires)
+
+    def __iter__(self) -> Iterator[Wire]:
+        return iter(self.wires)
+
+    def __len__(self) -> int:
+        return len(self.wires)
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and examples."""
+        pins = sum(w.n_pins for w in self.wires)
+        return (
+            f"{self.name}: {self.n_wires} wires, {pins} pins, "
+            f"{self.n_channels} channels x {self.n_grids} routing grids"
+        )

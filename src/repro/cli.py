@@ -1,0 +1,265 @@
+"""Command line interface.
+
+Installed as ``locusroute`` (also ``python -m repro``).  Subcommands:
+
+``circuit``
+    Generate / inspect benchmark circuits and write them to disk.
+``route``
+    Run the sequential LocusRoute on a circuit and report quality.
+``mp``
+    Run the message passing simulation with a chosen update schedule.
+``sm``
+    Run the shared memory simulation with chosen cache line sizes.
+``experiment``
+    Run paper experiments (T1-T6, X1-X5, or ``all``) and print the
+    paper-vs-measured tables.
+
+Examples
+--------
+::
+
+    locusroute circuit --name bnrE --stats
+    locusroute route --name bnrE --iterations 3
+    locusroute mp --name bnrE --send-rmt 2 --send-loc 10 --procs 16
+    locusroute sm --name bnrE --line-sizes 4 8 16 32
+    locusroute experiment T1 T6
+    locusroute experiment all --quick --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .circuits import bnre_like, compute_stats, load_json, mdc_like, save_json, save_text
+from .errors import ReproError
+from .harness.runner import run_all
+from .parallel import run_dynamic_assignment, run_message_passing, run_shared_memory
+from .route import SequentialRouter
+from .updates import PacketStructure, UpdateSchedule
+
+__all__ = ["main", "build_parser"]
+
+
+def _get_circuit(args: argparse.Namespace):
+    """Resolve the circuit from --name or --load."""
+    if getattr(args, "load", None):
+        return load_json(args.load)
+    name = args.name.lower()
+    if name in ("bnre", "bnre-like"):
+        return bnre_like(n_wires=args.wires)
+    if name in ("mdc", "mdc-like"):
+        return mdc_like(n_wires=args.wires)
+    raise SystemExit(f"unknown circuit name {args.name!r} (use bnrE or MDC)")
+
+
+def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--name", default="bnrE", help="benchmark circuit (bnrE or MDC)")
+    parser.add_argument("--load", help="load a circuit JSON file instead")
+    parser.add_argument("--wires", type=int, default=None, help="override wire count")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="locusroute",
+        description="LocusRoute message passing vs shared memory reproduction "
+        "(Martonosi & Gupta, ICPP 1989)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_circuit = sub.add_parser("circuit", help="generate / inspect circuits")
+    _add_circuit_args(p_circuit)
+    p_circuit.add_argument("--stats", action="store_true", help="print netlist statistics")
+    p_circuit.add_argument("--save-json", help="write the circuit as JSON")
+    p_circuit.add_argument("--save-text", help="write the circuit as text")
+
+    p_route = sub.add_parser("route", help="sequential LocusRoute")
+    _add_circuit_args(p_route)
+    p_route.add_argument("--iterations", type=int, default=3)
+
+    p_mp = sub.add_parser("mp", help="message passing simulation")
+    _add_circuit_args(p_mp)
+    p_mp.add_argument("--procs", type=int, default=16)
+    p_mp.add_argument("--iterations", type=int, default=3)
+    p_mp.add_argument("--send-loc", type=int, default=None, help="SendLocData interval")
+    p_mp.add_argument("--send-rmt", type=int, default=None, help="SendRmtData interval")
+    p_mp.add_argument("--req-loc", type=int, default=None, help="ReqLocData threshold")
+    p_mp.add_argument("--req-rmt", type=int, default=None, help="ReqRmtData threshold")
+    p_mp.add_argument("--blocking", action="store_true", help="blocking requests")
+    p_mp.add_argument(
+        "--packet-structure",
+        choices=[ps.value for ps in PacketStructure],
+        default=PacketStructure.BOUNDING_BOX.value,
+        help="update packet encoding (paper §4.3.1)",
+    )
+    p_mp.add_argument(
+        "--interrupts",
+        action="store_true",
+        help="interrupt-driven request reception (paper §4.2)",
+    )
+    p_mp.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    p_dyn = sub.add_parser("dynamic", help="dynamic wire assignment (§4.2)")
+    _add_circuit_args(p_dyn)
+    p_dyn.add_argument("--procs", type=int, default=16)
+    p_dyn.add_argument("--send-loc", type=int, default=None)
+    p_dyn.add_argument("--send-rmt", type=int, default=None)
+    p_dyn.add_argument("--interrupts", action="store_true")
+    p_dyn.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    p_sm = sub.add_parser("sm", help="shared memory simulation")
+    _add_circuit_args(p_sm)
+    p_sm.add_argument("--procs", type=int, default=16)
+    p_sm.add_argument("--iterations", type=int, default=3)
+    p_sm.add_argument(
+        "--line-sizes", type=int, nargs="+", default=[8], help="cache line sizes (bytes)"
+    )
+    p_sm.add_argument(
+        "--protocol",
+        choices=["invalidate", "update"],
+        default="invalidate",
+        help="coherence protocol for the traffic replay",
+    )
+    p_sm.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    p_exp = sub.add_parser("experiment", help="run paper experiments")
+    p_exp.add_argument("ids", nargs="+", help="experiment ids (T1..T6, X1..X5, or 'all')")
+    p_exp.add_argument("--quick", action="store_true", help="shrunk circuits, fast run")
+    p_exp.add_argument("--out", help="directory for JSON results")
+
+    return parser
+
+
+def _cmd_circuit(args: argparse.Namespace) -> int:
+    circuit = _get_circuit(args)
+    print(circuit.describe())
+    if args.stats:
+        for key, value in compute_stats(circuit).as_dict().items():
+            print(f"  {key}: {value:.3f}" if isinstance(value, float) else f"  {key}: {value}")
+    if args.save_json:
+        save_json(circuit, args.save_json)
+        print(f"wrote {args.save_json}")
+    if args.save_text:
+        save_text(circuit, args.save_text)
+        print(f"wrote {args.save_text}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    circuit = _get_circuit(args)
+    result = SequentialRouter(circuit, iterations=args.iterations).run()
+    print(circuit.describe())
+    print(f"circuit height:   {result.quality.circuit_height}")
+    print(f"occupancy factor: {result.quality.occupancy_factor}")
+    print(f"height by iteration: {result.per_iteration_height}")
+    print(f"evaluation work:  {result.work_cells} candidate cells")
+    return 0
+
+
+def _cmd_mp(args: argparse.Namespace) -> int:
+    circuit = _get_circuit(args)
+    schedule = UpdateSchedule(
+        send_loc_every=args.send_loc,
+        send_rmt_every=args.send_rmt,
+        req_loc_every=args.req_loc,
+        req_rmt_every=args.req_rmt,
+        blocking=args.blocking,
+        packet_structure=PacketStructure(args.packet_structure),
+        interrupt_reception=args.interrupts,
+    )
+    result = run_message_passing(
+        circuit, schedule, n_procs=args.procs, iterations=args.iterations
+    )
+    if args.json:
+        print(json.dumps(result.summary_dict(), indent=1))
+        return 0
+    print(f"{circuit.describe()}")
+    print(f"schedule: {schedule.describe()}  processors: {args.procs}")
+    for key, value in result.table_row().items():
+        print(f"  {key}: {value}")
+    print(f"  messages: {result.network.n_messages}")
+    print(f"  mean latency: {result.network.mean_latency_s * 1e6:.1f} us")
+    return 0
+
+
+def _cmd_sm(args: argparse.Namespace) -> int:
+    circuit = _get_circuit(args)
+    primary, extra = args.line_sizes[0], args.line_sizes[1:]
+    result = run_shared_memory(
+        circuit,
+        n_procs=args.procs,
+        iterations=args.iterations,
+        line_size=primary,
+        extra_line_sizes=extra,
+        protocol=args.protocol,
+    )
+    if args.json:
+        print(json.dumps(result.summary_dict(), indent=1))
+        return 0
+    print(f"{circuit.describe()}")
+    print(f"processors: {args.procs}  (dynamic distributed loop)")
+    for key, value in result.table_row().items():
+        print(f"  {key}: {value}")
+    for ls, stats in sorted(result.meta.get("coherence_by_line_size", {}).items()):
+        print(
+            f"  line {ls:2d}B: {stats['mbytes']:.3f} MB "
+            f"(write-caused {stats['write_caused_fraction']:.0%})"
+        )
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    circuit = _get_circuit(args)
+    schedule = UpdateSchedule(
+        send_loc_every=args.send_loc,
+        send_rmt_every=args.send_rmt,
+        interrupt_reception=args.interrupts,
+    )
+    result = run_dynamic_assignment(circuit, schedule, n_procs=args.procs)
+    if args.json:
+        print(json.dumps(result.summary_dict(), indent=1))
+        return 0
+    print(f"{circuit.describe()}")
+    print(f"assignment: {result.meta['assignment']}  processors: {args.procs}")
+    for key, value in result.table_row().items():
+        print(f"  {key}: {value}")
+    print(f"  mean task wait: {result.meta['mean_task_wait_s'] * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = None if [i.lower() for i in args.ids] == ["all"] else args.ids
+    results = run_all(ids, quick=args.quick, out_dir=args.out)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors (bad parameters, malformed files, protocol misuse)
+    surface as one-line ``error:`` messages with exit code 2 instead of
+    tracebacks.
+    """
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "circuit": _cmd_circuit,
+        "route": _cmd_route,
+        "mp": _cmd_mp,
+        "sm": _cmd_sm,
+        "dynamic": _cmd_dynamic,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator stack with a single handler
+while still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits: pins off-grid, empty wires, etc."""
+
+
+class GridError(ReproError):
+    """Raised for cost-array misuse: bad shapes, out-of-range cells."""
+
+
+class RoutingError(ReproError):
+    """Raised when the router cannot produce a legal path for a wire."""
+
+
+class AssignmentError(ReproError):
+    """Raised for invalid wire-to-processor assignments."""
+
+
+class NetworkError(ReproError):
+    """Raised by the CBS-style network simulator (bad topology, routing)."""
+
+
+class ProtocolError(ReproError):
+    """Raised by the update-protocol machinery (malformed packets, bad
+    schedule parameters)."""
+
+
+class CoherenceError(ReproError):
+    """Raised by the cache-coherence simulator (bad line size, trace)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event kernel (time going backwards, etc.)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness (unknown experiment id, etc.)."""

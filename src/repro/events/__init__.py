@@ -1,0 +1,6 @@
+"""Deterministic discrete-event kernel shared by both architecture simulators."""
+
+from .queue import Event, EventQueue
+from .sim import Simulator
+
+__all__ = ["Event", "EventQueue", "Simulator"]

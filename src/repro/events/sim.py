@@ -1,0 +1,78 @@
+"""Minimal discrete-event simulator.
+
+Both the CBS-style network simulation and the Tango-style shared memory
+multiplexer run on this kernel: schedule callbacks at absolute virtual
+times, run until the queue drains (or a step/time bound trips, which is
+treated as a runaway-simulation error rather than silently truncating).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .queue import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    The clock starts at 0.0 and only moves forward, driven by event pops.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._steps = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of events executed so far."""
+        return self._steps
+
+    def at(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule *action* at absolute virtual *time*."""
+        return self._queue.push(time, action)
+
+    def after(self, delay: float, action: Callable[[], Any]) -> Event:
+        """Schedule *action* ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, action)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    def run(
+        self,
+        max_steps: int = 50_000_000,
+        until: Optional[float] = None,
+    ) -> float:
+        """Execute events until the queue is empty.
+
+        ``max_steps`` guards against runaway simulations; ``until`` stops
+        the clock at a given virtual time (events beyond it stay queued).
+        Returns the final virtual time.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return self._now
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            self._steps += 1
+            if self._steps > max_steps:
+                raise SimulationError(f"simulation exceeded {max_steps} events")
+            event.action()

@@ -1,0 +1,13 @@
+"""Grid substrate: cost array, delta array, bounding boxes, owned regions.
+
+These are the data structures at the heart of both parallel LocusRoute
+implementations — the shared cost array (§3), the per-processor delta
+array (§4.1), and the Figure-2 division of the array into owned regions.
+"""
+
+from .bbox import BBox
+from .cost_array import CostArray
+from .delta import DeltaArray
+from .regions import RegionMap, proc_grid_shape
+
+__all__ = ["BBox", "CostArray", "DeltaArray", "RegionMap", "proc_grid_shape"]

@@ -1,0 +1,127 @@
+"""Inclusive 2-D bounding boxes over the cost array grid.
+
+Update packets in the message passing implementation carry "the bounding
+box of all the changes made within [a] region, as well as the coordinates
+of the bounding box being sent" (paper §4.3.1).  :class:`BBox` is that
+rectangle: inclusive channel and grid-column bounds, with the couple of
+operations the protocol machinery needs (union, intersection, area,
+slicing a NumPy array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GridError
+
+__all__ = ["BBox"]
+
+
+@dataclass(frozen=True, order=True)
+class BBox:
+    """An inclusive rectangle ``[c_lo..c_hi] x [x_lo..x_hi]`` of grid cells.
+
+    ``c`` indexes channels (rows), ``x`` indexes routing grids (columns),
+    matching cost-array axes.
+    """
+
+    c_lo: int
+    x_lo: int
+    c_hi: int
+    x_hi: int
+
+    def __post_init__(self) -> None:
+        if self.c_lo > self.c_hi or self.x_lo > self.x_hi:
+            raise GridError(f"degenerate bbox {self!r}")
+        if min(self.c_lo, self.x_lo) < 0:
+            raise GridError(f"negative bbox coordinates {self!r}")
+
+    @property
+    def height(self) -> int:
+        """Number of channel rows covered (inclusive)."""
+        return self.c_hi - self.c_lo + 1
+
+    @property
+    def width(self) -> int:
+        """Number of grid columns covered (inclusive)."""
+        return self.x_hi - self.x_lo + 1
+
+    @property
+    def area(self) -> int:
+        """Number of cells covered."""
+        return self.height * self.width
+
+    def contains(self, c: int, x: int) -> bool:
+        """True if cell ``(c, x)`` lies inside the box."""
+        return self.c_lo <= c <= self.c_hi and self.x_lo <= x <= self.x_hi
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest box covering both boxes."""
+        return BBox(
+            min(self.c_lo, other.c_lo),
+            min(self.x_lo, other.x_lo),
+            max(self.c_hi, other.c_hi),
+            max(self.x_hi, other.x_hi),
+        )
+
+    def intersect(self, other: "BBox") -> Optional["BBox"]:
+        """Overlap of two boxes, or ``None`` if they are disjoint."""
+        c_lo = max(self.c_lo, other.c_lo)
+        c_hi = min(self.c_hi, other.c_hi)
+        x_lo = max(self.x_lo, other.x_lo)
+        x_hi = min(self.x_hi, other.x_hi)
+        if c_lo > c_hi or x_lo > x_hi:
+            return None
+        return BBox(c_lo, x_lo, c_hi, x_hi)
+
+    def slices(self) -> Tuple[slice, slice]:
+        """``(row_slice, col_slice)`` selecting the box from a 2-D array."""
+        return (slice(self.c_lo, self.c_hi + 1), slice(self.x_lo, self.x_hi + 1))
+
+    def extract(self, array: np.ndarray) -> np.ndarray:
+        """Copy the box's cells out of *array* (always a fresh array).
+
+        This must be a true copy, never a view: extracted blocks become
+        update-packet payloads that live past the extraction while the
+        source array keeps mutating.  (``ascontiguousarray`` returns a *view*
+        whenever the sliced box is already contiguous — single-row and
+        full-width boxes — which silently aliased packet payloads to the
+        sender's live array.)
+        """
+        rows, cols = self.slices()
+        return np.array(array[rows, cols], copy=True)
+
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all ``(c, x)`` cells in row-major order."""
+        for c in range(self.c_lo, self.c_hi + 1):
+            for x in range(self.x_lo, self.x_hi + 1):
+                yield (c, x)
+
+    @staticmethod
+    def from_points(points: np.ndarray) -> "BBox":
+        """Bounding box of an ``(n, 2)`` array of ``(c, x)`` cells."""
+        if points.size == 0:
+            raise GridError("cannot take bbox of zero points")
+        c = points[:, 0]
+        x = points[:, 1]
+        return BBox(int(c.min()), int(x.min()), int(c.max()), int(x.max()))
+
+    @staticmethod
+    def of_nonzero(array: np.ndarray) -> Optional["BBox"]:
+        """Bounding box of the nonzero entries of *array*, or ``None``.
+
+        This is the "scan the delta array for changes" step of the paper's
+        chosen packet structure (§4.3.1).
+        """
+        rows = np.flatnonzero(array.any(axis=1))
+        if rows.size == 0:
+            return None
+        cols = np.flatnonzero(array.any(axis=0))
+        return BBox(int(rows[0]), int(cols[0]), int(rows[-1]), int(cols[-1]))
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """Return ``(c_lo, x_lo, c_hi, x_hi)``."""
+        return (self.c_lo, self.x_lo, self.c_hi, self.x_hi)

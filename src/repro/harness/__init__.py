@@ -1,0 +1,18 @@
+"""Experiment harness: paper reference values, per-table drivers with
+shape checks, table rendering, and the run-everything runner."""
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .runner import load_result, run_all, save_result
+from .tables import format_value, render_checks, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all",
+    "save_result",
+    "load_result",
+    "render_table",
+    "render_checks",
+    "format_value",
+]

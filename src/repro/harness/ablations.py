@@ -1,0 +1,559 @@
+"""Ablation experiments beyond the paper's tables.
+
+Each ablation tests a design choice the paper *discusses* but could not or
+did not measure, using the same shape-check machinery as the table
+experiments:
+
+- **A1** — the three §4.3.1 packet structures (wire-based / full-region /
+  bounding-box), justifying the paper's choice by measurement.
+- **A2** — blocking receivers under interrupt-driven reception and a
+  faster network: the §5.1.3 prediction that "with a higher performance
+  interconnection network [and] lower overhead on message reception ...
+  the blocking strategy would probably become more effective".
+- **A3** — the two dynamic wire-distribution schemes of §4.2 (polled and
+  interrupt-serviced wire assignment processor) against static
+  assignment, measuring the task-wait latency the paper reasoned about.
+- **A4** — the hierarchical (NUMA) shared memory machine of §5.3.2, where
+  remote references cost ~10x local ones, showing locality-aware
+  assignment becoming a first-order execution-time effect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Dict, List
+
+from ..assign import RoundRobinAssigner, ThresholdCostAssigner
+from ..grid import RegionMap
+from ..parallel import CostModel, run_dynamic_assignment, run_message_passing, run_shared_memory
+from ..updates import PacketStructure, UpdateSchedule
+from .experiments import ExperimentResult, _iters, quick_circuit
+
+__all__ = [
+    "run_a1_packet_structures",
+    "run_a2_interrupts",
+    "run_a3_dynamic_assignment",
+    "run_a4_numa_locality",
+]
+
+
+def run_a1_packet_structures(quick: bool = False) -> ExperimentResult:
+    """A1: measure the §4.3.1 packet-structure tradeoff."""
+    circuit = quick_circuit("bnrE", quick)
+    base = UpdateSchedule.sender_initiated(2, 10)
+    rows: List[Dict[str, object]] = []
+    traffic: Dict[PacketStructure, float] = {}
+    for structure in (
+        PacketStructure.WIRE_BASED,
+        PacketStructure.FULL_REGION,
+        PacketStructure.BOUNDING_BOX,
+    ):
+        result = run_message_passing(
+            circuit, replace(base, packet_structure=structure), iterations=_iters(quick)
+        )
+        traffic[structure] = result.mbytes_transferred
+        rows.append({"structure": structure.value, **result.table_row()})
+    checks = {
+        # "it uses a large number of bytes" — full-region is the most
+        # expensive encoding.
+        "full-region costs the most traffic": traffic[PacketStructure.FULL_REGION]
+        == max(traffic.values()),
+        # "it reduces network traffic compared to the other method" — the
+        # bbox optimisation beats shipping whole regions by a wide margin.
+        "bounding box halves full-region traffic": traffic[PacketStructure.BOUNDING_BOX]
+        < 0.6 * traffic[PacketStructure.FULL_REGION],
+        # wire-based encodings are competitive with bounding boxes (the
+        # paper rejected them on processing convenience, not size).
+        "wire-based is size-competitive": traffic[PacketStructure.WIRE_BASED]
+        < 2.0 * traffic[PacketStructure.BOUNDING_BOX],
+    }
+    return ExperimentResult(
+        exp_id="A1",
+        title="Ablation: §4.3.1 update packet structures (sender 2/10)",
+        columns=["structure", "ckt_height", "occupancy", "mbytes", "time_s"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def run_a2_interrupts(quick: bool = False) -> ExperimentResult:
+    """A2: blocking receivers with interrupt reception / faster network."""
+    circuit = quick_circuit("bnrE", quick)
+    slow = CostModel()
+    fast = replace(
+        slow,
+        hop_time_s=slow.hop_time_s / 10,
+        process_time_s=slow.process_time_s / 10,
+        packet_fixed_s=slow.packet_fixed_s / 10,
+    )
+    rows: List[Dict[str, object]] = []
+    penalty: Dict[str, float] = {}
+    for label, cm, interrupts in (
+        ("paper network, polled", slow, False),
+        ("paper network, interrupts", slow, True),
+        ("10x network, interrupts", fast, True),
+    ):
+        nb = replace(
+            UpdateSchedule.receiver_initiated(1, 5), interrupt_reception=interrupts
+        )
+        bl = replace(
+            UpdateSchedule.receiver_initiated(1, 5, blocking=True),
+            interrupt_reception=interrupts,
+        )
+        t_nb = run_message_passing(
+            circuit, nb, cost_model=cm, iterations=_iters(quick)
+        ).exec_time_s
+        t_bl = run_message_passing(
+            circuit, bl, cost_model=cm, iterations=_iters(quick)
+        ).exec_time_s
+        penalty[label] = t_bl / t_nb - 1.0
+        rows.append(
+            {
+                "configuration": label,
+                "non_blocking_s": round(t_nb, 3),
+                "blocking_s": round(t_bl, 3),
+                "blocking_penalty": f"{penalty[label]:+.0%}",
+            }
+        )
+    checks = {
+        # §5.1.3: blocking pays a large penalty on the paper's machine
+        # (smaller quick-mode circuits have fewer requests per region, so
+        # the bar is lower there) ...
+        "blocking penalty large when polled": penalty["paper network, polled"]
+        > (0.08 if quick else 0.15),
+        # ... and the paper's prediction: low reception overhead makes
+        # blocking viable.
+        "interrupt reception collapses the penalty": penalty[
+            "paper network, interrupts"
+        ] < 0.5 * penalty["paper network, polled"],
+        "fast network keeps the penalty small": penalty["10x network, interrupts"]
+        < 0.5 * penalty["paper network, polled"],
+    }
+    return ExperimentResult(
+        exp_id="A2",
+        title="Ablation: the §5.1.3 blocking prediction (RLD=1 RRD=5)",
+        columns=["configuration", "non_blocking_s", "blocking_s", "blocking_penalty"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "the paper: 'With a higher performance interconnection network, "
+            "lower overhead on message reception ... the blocking strategy "
+            "would probably become more effective.'"
+        ),
+    )
+
+
+def run_a3_dynamic_assignment(quick: bool = False) -> ExperimentResult:
+    """A3: the §4.2 dynamic wire-distribution schemes vs static."""
+    circuit = quick_circuit("bnrE", quick)
+    schedule = UpdateSchedule.sender_initiated(2, 10)
+    static = run_message_passing(circuit, schedule, iterations=1)
+    polled = run_dynamic_assignment(circuit, schedule)
+    interrupt = run_dynamic_assignment(
+        circuit, replace(schedule, interrupt_reception=True)
+    )
+    rows = []
+    for label, result in (
+        ("static (ThresholdCost=1000)", static),
+        ("dynamic, polled master", polled),
+        ("dynamic, interrupt master", interrupt),
+    ):
+        row = {"assignment": label, **result.table_row()}
+        row["mean_task_wait_ms"] = (
+            round(result.meta["mean_task_wait_s"] * 1e3, 2)
+            if "mean_task_wait_s" in result.meta
+            else None
+        )
+        rows.append(row)
+    checks = {
+        # §4.2: "the time spent waiting for a requested task can be large"
+        # when the master polls between wires ...
+        "polled task wait is large": polled.meta["mean_task_wait_s"] > 2e-3,
+        # ... and interrupts "offer wire distribution with lower latency".
+        "interrupts cut the task wait": interrupt.meta["mean_task_wait_s"]
+        < 0.5 * polled.meta["mean_task_wait_s"],
+        "interrupts speed up the dynamic run": interrupt.exec_time_s
+        < polled.exec_time_s,
+        "all schemes route every wire": all(
+            len(r.paths) == circuit.n_wires for r in (static, polled, interrupt)
+        ),
+    }
+    return ExperimentResult(
+        exp_id="A3",
+        title="Ablation: §4.2 dynamic wire distribution (single iteration)",
+        columns=[
+            "assignment",
+            "ckt_height",
+            "occupancy",
+            "mbytes",
+            "time_s",
+            "mean_task_wait_ms",
+        ],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def run_a4_numa_locality(quick: bool = False) -> ExperimentResult:
+    """A4: locality on a hierarchical (NUMA) shared memory machine."""
+    circuit = quick_circuit("bnrE", quick)
+    regions = RegionMap(circuit.n_channels, circuit.n_grids, 16)
+    numa = CostModel(numa_remote_factor=10.0)
+    rows: List[Dict[str, object]] = []
+    slowdown: Dict[str, float] = {}
+    for label, assignment in (
+        ("round robin", RoundRobinAssigner(circuit, regions).assign()),
+        ("TC=30", ThresholdCostAssigner(circuit, regions, 30).assign()),
+        ("TC=inf", ThresholdCostAssigner(circuit, regions, math.inf).assign()),
+    ):
+        flat = run_shared_memory(
+            circuit, assignment=assignment, collect_trace=False, iterations=_iters(quick)
+        )
+        hier = run_shared_memory(
+            circuit,
+            assignment=assignment,
+            collect_trace=False,
+            cost_model=numa,
+            iterations=_iters(quick),
+        )
+        slowdown[label] = hier.exec_time_s / flat.exec_time_s
+        rows.append(
+            {
+                "assignment": label,
+                "flat_time_s": round(flat.exec_time_s, 2),
+                "numa_time_s": round(hier.exec_time_s, 2),
+                "slowdown": round(slowdown[label], 2),
+            }
+        )
+    checks = {
+        # §5.3.2: on hierarchical machines locality becomes first-order —
+        # the most local assignment suffers the smallest NUMA penalty.
+        "full locality suffers the least NUMA slowdown": slowdown["TC=inf"]
+        == min(slowdown.values()),
+        "round robin suffers the most NUMA slowdown": slowdown["round robin"]
+        == max(slowdown.values()),
+    }
+    return ExperimentResult(
+        exp_id="A4",
+        title="Ablation: §5.3.2 hierarchical shared memory (remote refs 10x)",
+        columns=["assignment", "flat_time_s", "numa_time_s", "slowdown"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "the paper: 'in hierarchical shared memory architectures ... a "
+            "local reference can be more than an order of magnitude faster "
+            "... locality will become an important part of future program "
+            "design.'"
+        ),
+    )
+
+
+def run_a5_write_update(quick: bool = False) -> ExperimentResult:
+    """A5: write-update vs write-back-invalidate coherence protocols."""
+    from ..parallel import run_shared_memory as _run_sm
+
+    circuit = quick_circuit("bnrE", quick)
+    line_sizes = [4, 8, 16, 32]
+    results = {}
+    for protocol in ("invalidate", "update"):
+        run = _run_sm(
+            circuit,
+            iterations=_iters(quick),
+            line_size=line_sizes[0],
+            extra_line_sizes=line_sizes[1:],
+            protocol=protocol,
+        )
+        results[protocol] = run.meta["coherence_by_line_size"]
+    rows: List[Dict[str, object]] = []
+    for ls in line_sizes:
+        inv = results["invalidate"][ls]
+        upd = results["update"][ls]
+        rows.append(
+            {
+                "line_size": ls,
+                "invalidate_mb": round(inv["mbytes"], 4),
+                "update_mb": round(upd["mbytes"], 4),
+                "update_broadcast_mb": round(upd["word_write_bytes"] / 1e6, 4),
+            }
+        )
+    inv_growth = (
+        results["invalidate"][32]["mbytes"] / results["invalidate"][4]["mbytes"]
+    )
+    upd_growth = results["update"][32]["mbytes"] / results["update"][4]["mbytes"]
+    checks = {
+        # LocusRoute's cost-array sharing is read-dominated (many sweep
+        # reads per occupancy write), the regime where Archibald & Baer
+        # found update protocols cheaper than invalidation.
+        "update protocol moves fewer bytes here": all(
+            results["update"][ls]["mbytes"] < results["invalidate"][ls]["mbytes"]
+            for ls in line_sizes
+        ),
+        # Updates broadcast words, so their traffic barely depends on the
+        # line size, unlike invalidation's refetch growth.
+        "update traffic flatter across line sizes": upd_growth < inv_growth + 0.05,
+        "broadcasts dominate update-protocol bytes": results["update"][32][
+            "word_write_bytes"
+        ]
+        > 0.3 * results["update"][32]["total_bytes"],
+    }
+    return ExperimentResult(
+        exp_id="A5",
+        title="Ablation: write-update vs write-back-invalidate coherence",
+        columns=["line_size", "invalidate_mb", "update_mb", "update_broadcast_mb"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "the paper's protocol choice follows Archibald & Baer; this "
+            "ablation runs their other protocol family on the same traces."
+        ),
+    )
+
+
+def run_a6_cache_size(quick: bool = False) -> ExperimentResult:
+    """A6: the footnote-3 effect — traffic vs finite cache size."""
+    from ..memsim import AddressMap, simulate_trace, simulate_trace_finite
+    from ..parallel import run_shared_memory as _run_sm
+
+    circuit = quick_circuit("bnrE", quick)
+    result = _run_sm(circuit, iterations=_iters(quick), line_size=8, keep_trace=True)
+    trace = result.meta["trace"]
+    layout = result.meta["layout"]
+    amap = AddressMap(
+        circuit.n_channels,
+        circuit.n_grids,
+        8,
+        extra_words=layout.total_words - layout.array_words,
+    )
+
+    infinite = simulate_trace(trace, 16, amap)
+    sizes = [64, 256, 1024]
+    rows: List[Dict[str, object]] = []
+    totals: List[float] = []
+    for cache_lines in sizes:
+        stats = simulate_trace_finite(trace, 16, amap, cache_lines)
+        totals.append(stats.mbytes)
+        rows.append(
+            {
+                "cache_lines": cache_lines,
+                "cache_bytes": cache_lines * 8,
+                "mbytes": round(stats.mbytes, 4),
+                "writeback_mb": round(stats.writeback_bytes / 1e6, 4),
+            }
+        )
+    rows.append(
+        {
+            "cache_lines": "infinite",
+            "cache_bytes": "-",
+            "mbytes": round(infinite.mbytes, 4),
+            "writeback_mb": round(infinite.writeback_bytes / 1e6, 4),
+        }
+    )
+    checks = {
+        # footnote 3: "a small cache will have a higher miss rate
+        # requiring more data fetches from main memory".
+        "traffic decreases with cache size": all(
+            b <= a * 1.02 for a, b in zip(totals, totals[1:])
+        ),
+        "finite caches cost at least the infinite-cache traffic": totals[-1]
+        >= infinite.mbytes * 0.98,
+        "tiny caches cost much more": totals[0] > 1.5 * infinite.mbytes,
+    }
+    return ExperimentResult(
+        exp_id="A6",
+        title="Ablation: footnote 3 — traffic vs finite cache size (8B lines)",
+        columns=["cache_lines", "cache_bytes", "mbytes", "writeback_mb"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def run_a7_staleness(quick: bool = False) -> ExperimentResult:
+    """A7: staleness, measured — view divergence vs update schedule."""
+    circuit = quick_circuit("bnrE", quick)
+    schedules = [
+        ("sender eager (1,1)", UpdateSchedule.sender_initiated(1, 1)),
+        ("sender lazy (10,20)", UpdateSchedule.sender_initiated(10, 20)),
+        ("receiver (1,5)", UpdateSchedule.receiver_initiated(1, 5)),
+        ("silent", UpdateSchedule()),
+    ]
+    rows: List[Dict[str, object]] = []
+    divergence: Dict[str, float] = {}
+    for label, schedule in schedules:
+        # Single iteration isolates staleness from rip-up churn: quality
+        # feedback between iterations otherwise couples the schedules.
+        result = run_message_passing(
+            circuit, schedule, iterations=1, track_divergence=True
+        )
+        d = result.meta["divergence"]
+        divergence[label] = d["mean_l1"]
+        rows.append(
+            {
+                "schedule": label,
+                "mean_view_error_L1": round(d["mean_l1"], 2),
+                "max_view_error_L1": round(d["max_l1"], 1),
+                "occupancy": result.quality.occupancy_factor,
+                "mbytes": round(result.mbytes_transferred, 4),
+            }
+        )
+    checks = {
+        # The mechanism behind every quality number in the paper: updates
+        # keep the routing view closer to reality.
+        "eager updates reduce view error vs silent": divergence["sender eager (1,1)"]
+        < divergence["silent"],
+        "any updates beat no updates": all(
+            divergence[label] <= divergence["silent"] * 1.02
+            for label, _ in schedules[:-1]
+        ),
+        "receiver-initiated requests also reduce error": divergence["receiver (1,5)"]
+        < divergence["silent"],
+    }
+    return ExperimentResult(
+        exp_id="A7",
+        title="Ablation: staleness measured — local-view error vs update schedule",
+        columns=[
+            "schedule",
+            "mean_view_error_L1",
+            "max_view_error_L1",
+            "occupancy",
+            "mbytes",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "view error = L1 distance between the routing node's view and "
+            "the true cost array over each committed route's cells (single "
+            "routing iteration; across rip-up iterations, route churn from "
+            "eager updates partially offsets their freshness advantage)."
+        ),
+    )
+
+
+def run_a8_centroid(quick: bool = False) -> ExperimentResult:
+    """A8: the paper's suggested smarter heuristic — centroid assignment."""
+    from ..assign import CentroidAssigner
+    from ..route import locality_measure
+
+    circuit = quick_circuit("bnrE", quick)
+    regions = RegionMap(circuit.n_channels, circuit.n_grids, 16)
+    schedule = UpdateSchedule.sender_initiated(2, 10)
+    rows: List[Dict[str, object]] = []
+    metrics: Dict[str, Dict[str, float]] = {}
+    for label, cls in (
+        ("leftmost pin (paper)", ThresholdCostAssigner),
+        ("bounding-box centroid", CentroidAssigner),
+    ):
+        assignment = cls(circuit, regions, 1000).assign()
+        result = run_message_passing(
+            circuit, schedule, assignment=assignment, iterations=_iters(quick)
+        )
+        report = locality_measure(regions, result.paths, result.wire_router)
+        metrics[label] = {
+            "hops": report.mean_hops,
+            "mbytes": result.mbytes_transferred,
+            "time": result.exec_time_s,
+        }
+        rows.append(
+            {
+                "heuristic": label,
+                "mean_hops": round(report.mean_hops, 3),
+                "owned_fraction": round(report.owned_fraction, 3),
+                "ckt_height": result.quality.circuit_height,
+                "mbytes": round(result.mbytes_transferred, 4),
+                "time_s": round(result.exec_time_s, 3),
+            }
+        )
+    left = metrics["leftmost pin (paper)"]
+    cent = metrics["bounding-box centroid"]
+    checks = {
+        # conclusions: "more sophisticated wire assignment heuristics may
+        # further improve quality and reduce traffic" ...
+        "centroid improves locality": cent["hops"] < left["hops"],
+        "centroid reduces traffic": cent["mbytes"] < left["mbytes"] * 1.02,
+        # ... but locality concentration costs load balance, the same
+        # §5.3.3 tension as ThresholdCost=infinity.
+        "locality gain is not free (time)": cent["time"] > 0.9 * left["time"],
+    }
+    return ExperimentResult(
+        exp_id="A8",
+        title="Ablation: centroid vs leftmost-pin wire assignment (TC=1000)",
+        columns=[
+            "heuristic",
+            "mean_hops",
+            "owned_fraction",
+            "ckt_height",
+            "mbytes",
+            "time_s",
+        ],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def run_a9_trace_granularity(quick: bool = False) -> ExperimentResult:
+    """A9: trace granularity — where the T3 magnitude gap comes from."""
+    from ..memsim import AddressMap, simulate_trace
+    from ..memsim.reference_level import simulate_trace_reference_level
+    from ..parallel import run_shared_memory as _run_sm
+
+    circuit = quick_circuit("bnrE", quick)
+    iters = _iters(quick)
+
+    # Part 1: burst-level protocol processing is *lossless* — replaying
+    # the same trace one reference at a time yields identical traffic.
+    base = _run_sm(circuit, iterations=iters, line_size=8, keep_trace=True)
+    trace, layout = base.meta["trace"], base.meta["layout"]
+    extra = layout.total_words - layout.array_words
+    equivalent = True
+    rows: List[Dict[str, object]] = []
+    for ls in (4, 8, 32):
+        amap = AddressMap(circuit.n_channels, circuit.n_grids, ls, extra_words=extra)
+        burst = simulate_trace(trace, 16, amap)
+        ref = simulate_trace_reference_level(trace, 16, amap)
+        burst_nwb = burst.total_bytes - burst.writeback_bytes
+        equivalent &= burst_nwb == ref.total_bytes
+        rows.append(
+            {
+                "comparison": f"replay granularity @ {ls}B lines",
+                "burst_mb": round(burst_nwb / 1e6, 4),
+                "per_reference_mb": round(ref.mbytes, 4),
+            }
+        )
+
+    # Part 2: what actually moves traffic is the *recorded interleaving*
+    # granularity: finer sweeps expose more invalidation refetches.
+    totals: List[float] = []
+    for chunks in (1, 2, 4, 8):
+        run = _run_sm(circuit, iterations=iters, line_size=8, trace_chunks=chunks)
+        totals.append(run.coherence.mbytes)
+        rows.append(
+            {
+                "comparison": f"recorded interleaving: {chunks} sweeps/evaluation",
+                "burst_mb": round(run.coherence.mbytes, 4),
+                "per_reference_mb": None,
+            }
+        )
+    checks = {
+        # burst processing loses nothing for a fixed trace ...
+        "per-reference replay equals burst replay": equivalent,
+        # ... the T3 magnitude gap is recording granularity: finer
+        # interleaving of the same execution raises measured traffic.
+        "finer recorded interleaving raises traffic": all(
+            b >= a * 0.99 for a, b in zip(totals, totals[1:])
+        )
+        and totals[-1] > totals[0],
+    }
+    return ExperimentResult(
+        exp_id="A9",
+        title="Ablation: trace granularity (burst vs per-reference; sweep count)",
+        columns=["comparison", "burst_mb", "per_reference_mb"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "conclusion: the muted Table 3 growth is a property of how "
+            "finely the trace records interleaving (Tango recorded every "
+            "reference; we record a few sweeps per evaluation), not of "
+            "burst-level protocol processing, which is provably lossless "
+            "for a given trace."
+        ),
+    )

@@ -1,0 +1,127 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Every table of Martonosi & Gupta (ICPP '89) plus the in-text results the
+benchmarks reproduce.  These are *reference shapes*: our benchmark
+circuits are synthetic stand-ins (DESIGN.md §2), so absolute values are
+not expected to match — the benches print these columns next to the
+measured ones so the reader can compare trends, orderings and ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = [
+    "TABLE1_SENDER",
+    "TABLE2_RECEIVER",
+    "TABLE3_LINESIZE",
+    "TABLE4_LOCALITY_MP",
+    "TABLE5_LOCALITY_SM",
+    "TABLE6_SCALING",
+    "TEXT_RESULTS",
+    "paper_row",
+]
+
+#: Table 1 — sender initiated updates, bnrE, 16 processors.
+#: Keys: (SendRmtData, SendLocData) -> row.
+TABLE1_SENDER: Dict[tuple, Dict[str, float]] = {
+    (2, 1): {"ckt_height": 142, "occupancy": 426109, "mbytes": 0.862, "time_s": 1.893},
+    (2, 5): {"ckt_height": 143, "occupancy": 428558, "mbytes": 0.222, "time_s": 1.515},
+    (2, 10): {"ckt_height": 141, "occupancy": 429589, "mbytes": 0.140, "time_s": 1.445},
+    (2, 20): {"ckt_height": 145, "occupancy": 432360, "mbytes": 0.101, "time_s": 1.426},
+    (5, 1): {"ckt_height": 144, "occupancy": 425576, "mbytes": 0.859, "time_s": 1.668},
+    (5, 5): {"ckt_height": 143, "occupancy": 430046, "mbytes": 0.212, "time_s": 1.306},
+    (5, 10): {"ckt_height": 146, "occupancy": 430580, "mbytes": 0.133, "time_s": 1.260},
+    (5, 20): {"ckt_height": 145, "occupancy": 431366, "mbytes": 0.094, "time_s": 1.240},
+    (10, 1): {"ckt_height": 142, "occupancy": 426706, "mbytes": 0.840, "time_s": 1.553},
+    (10, 5): {"ckt_height": 143, "occupancy": 429423, "mbytes": 0.208, "time_s": 1.282},
+    (10, 10): {"ckt_height": 146, "occupancy": 431662, "mbytes": 0.128, "time_s": 1.243},
+    (10, 20): {"ckt_height": 145, "occupancy": 432169, "mbytes": 0.087, "time_s": 1.219},
+}
+
+#: Table 2 — non-blocking receiver initiated updates, bnrE, 16 processors.
+#: Keys: (ReqLocData, ReqRmtData) -> row.
+TABLE2_RECEIVER: Dict[tuple, Dict[str, float]] = {
+    (1, 5): {"ckt_height": 144, "occupancy": 430686, "mbytes": 0.130, "time_s": 1.166},
+    (1, 10): {"ckt_height": 150, "occupancy": 436496, "mbytes": 0.056, "time_s": 1.159},
+    (1, 30): {"ckt_height": 151, "occupancy": 437956, "mbytes": 0.009, "time_s": 1.099},
+    (2, 5): {"ckt_height": 143, "occupancy": 431936, "mbytes": 0.112, "time_s": 1.156},
+    (2, 10): {"ckt_height": 149, "occupancy": 437088, "mbytes": 0.045, "time_s": 1.126},
+    (2, 30): {"ckt_height": 151, "occupancy": 437956, "mbytes": 0.009, "time_s": 1.113},
+    (10, 5): {"ckt_height": 142, "occupancy": 430868, "mbytes": 0.088, "time_s": 1.133},
+    (10, 10): {"ckt_height": 149, "occupancy": 437797, "mbytes": 0.039, "time_s": 1.135},
+    (10, 30): {"ckt_height": 151, "occupancy": 437956, "mbytes": 0.009, "time_s": 1.097},
+}
+
+#: Table 3 — shared memory traffic vs cache line size, bnrE, 16 procs.
+TABLE3_LINESIZE: Dict[int, Dict[str, float]] = {
+    4: {"mbytes": 2.15},
+    8: {"mbytes": 3.73},
+    16: {"mbytes": 6.87},
+    32: {"mbytes": 13.5},
+}
+
+#: Table 4 — effect of locality, message passing (sender initiated).
+#: Keys: (circuit, method) with method in {"round robin", "TC=30",
+#: "TC=1000", "TC=inf"}.
+TABLE4_LOCALITY_MP: Dict[tuple, Dict[str, float]] = {
+    ("bnrE", "round robin"): {"ckt_height": 147, "mbytes": 0.156, "time_s": 1.478},
+    ("bnrE", "TC=30"): {"ckt_height": 141, "mbytes": 0.153, "time_s": 1.392},
+    ("bnrE", "TC=1000"): {"ckt_height": 141, "mbytes": 0.140, "time_s": 1.445},
+    ("bnrE", "TC=inf"): {"ckt_height": 140, "mbytes": 0.139, "time_s": 2.468},
+    ("MDC", "round robin"): {"ckt_height": 150, "mbytes": 0.242, "time_s": 2.181},
+    ("MDC", "TC=30"): {"ckt_height": 146, "mbytes": 0.232, "time_s": 1.768},
+    ("MDC", "TC=1000"): {"ckt_height": 147, "mbytes": 0.217, "time_s": 1.866},
+    ("MDC", "TC=inf"): {"ckt_height": 146, "mbytes": 0.220, "time_s": 3.684},
+}
+
+#: Table 5 — effect of locality in the shared memory version (8 B lines).
+TABLE5_LOCALITY_SM: Dict[tuple, Dict[str, float]] = {
+    ("bnrE", "round robin"): {"ckt_height": 139, "mbytes": 3.96},
+    ("bnrE", "TC=30"): {"ckt_height": 134, "mbytes": 3.77},
+    ("bnrE", "TC=1000"): {"ckt_height": 131, "mbytes": 3.73},
+    ("bnrE", "TC=inf"): {"ckt_height": 139, "mbytes": 3.73},
+    ("MDC", "round robin"): {"ckt_height": 144, "mbytes": 4.833},
+    ("MDC", "TC=30"): {"ckt_height": 138, "mbytes": 4.625},
+    ("MDC", "TC=1000"): {"ckt_height": 143, "mbytes": 4.600},
+    ("MDC", "TC=inf"): {"ckt_height": 143, "mbytes": 4.687},
+}
+
+#: Table 6 — effect of the number of processors (sender initiated), bnrE.
+#: The paper's table prints rows for 2, 4, 9 and 16 processors (the
+#: 4-processor occupancy cell is illegible in the scan and left None).
+TABLE6_SCALING: Dict[int, Dict[str, Optional[float]]] = {
+    2: {"ckt_height": 131, "occupancy": 415142, "mbytes": 0.245, "time_s": 8.438},
+    4: {"ckt_height": None, "occupancy": None, "mbytes": 0.263, "time_s": 4.378},
+    9: {"ckt_height": 143, "occupancy": 425426, "mbytes": 0.178, "time_s": 2.184},
+    16: {"ckt_height": 141, "occupancy": 429589, "mbytes": 0.140, "time_s": 1.445},
+}
+
+#: In-text results referenced by the X-experiments.
+TEXT_RESULTS: Dict[str, object] = {
+    # §5.2: shared memory quality for bnrE, ~8 % better than sender init.
+    "sm_height_bnre": 131,
+    # §5.2: >80 % of shared memory bytes are caused by writes.
+    "sm_write_fraction_min": 0.80,
+    # §5.1.3: blocking execution time up to 75 % larger than non-blocking.
+    "blocking_penalty_max": 0.75,
+    # §5.1.3: the mixed schedule's occupancy factor and traffic.
+    "mixed_occupancy": 424337,
+    "mixed_mbytes": 0.311,
+    # §5.3.3: locality measure, hops from owner under most-local assignment.
+    "locality_bnre": 1.21,
+    "locality_mdc": 0.91,
+    # §5.4: speedups at 16 processors (normalised to the 2-processor run).
+    "speedup_bnre": 12.0,
+    "speedup_mdc": 12.8,
+    # §5.3.1: receiver-initiated traffic reduction from locality, up to 63 %.
+    "locality_traffic_reduction_receiver": 0.63,
+    # Conclusions: SM traffic ~10x sender initiated ~10x receiver initiated.
+    "sm_over_sender_ratio": 10.0,
+    "sender_over_receiver_ratio": 10.0,
+}
+
+
+def paper_row(table: Dict, key) -> Optional[Dict[str, float]]:
+    """Look up a reference row, returning ``None`` when absent."""
+    return table.get(key)

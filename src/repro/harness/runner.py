@@ -1,0 +1,74 @@
+"""Run experiments and persist their results.
+
+:func:`run_all` executes every registered experiment in id order, prints
+the rendered tables, and optionally writes a JSON record per experiment —
+the file EXPERIMENTS.md's numbers come from.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+
+__all__ = ["run_all", "save_result", "load_result"]
+
+PathLike = Union[str, Path]
+
+
+def save_result(result: ExperimentResult, directory: PathLike) -> Path:
+    """Write one experiment result as JSON; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.exp_id.lower()}.json"
+    payload = {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "columns": result.columns,
+        "rows": result.rows,
+        "checks": result.checks,
+        "notes": result.notes,
+        "passed": result.passed,
+    }
+    path.write_text(json.dumps(payload, indent=1, default=str))
+    return path
+
+
+def load_result(exp_id: str, directory: PathLike) -> Optional[dict]:
+    """Load a previously saved result, or ``None`` if absent."""
+    path = Path(directory) / f"{exp_id.lower()}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def run_all(
+    exp_ids: Optional[Iterable[str]] = None,
+    quick: bool = False,
+    out_dir: Optional[PathLike] = None,
+    echo: bool = True,
+) -> List[ExperimentResult]:
+    """Run the selected experiments (default: all), in registry order."""
+    ids = list(exp_ids) if exp_ids is not None else list(EXPERIMENTS)
+    results: List[ExperimentResult] = []
+    for exp_id in ids:
+        start = time.time()
+        result = run_experiment(exp_id, quick=quick)
+        elapsed = time.time() - start
+        results.append(result)
+        if echo:
+            print(result.render())
+            print(f"({elapsed:.1f}s wall)\n")
+        if out_dir is not None:
+            save_result(result, out_dir)
+    if echo:
+        failed = [r.exp_id for r in results if not r.passed]
+        print(
+            f"{len(results)} experiments, "
+            f"{sum(r.passed for r in results)} fully passing shape checks"
+            + (f"; check failures in: {failed}" if failed else "")
+        )
+    return results

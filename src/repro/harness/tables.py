@@ -1,0 +1,60 @@
+"""ASCII table rendering for experiment results.
+
+Benches print each experiment as a fixed-width table with measured values
+next to the paper's published ones (where available), in the same row
+order as the paper.  Rendering is dependency-free and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value", "render_checks"]
+
+
+def format_value(value: object) -> str:
+    """Human-format one cell: floats get 3-4 significant places."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Dict[str, object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render *rows* (dicts keyed by column name) as an ASCII table."""
+    cells: List[List[str]] = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    header = "| " + " | ".join(col.ljust(w) for col, w in zip(columns, widths)) + " |"
+    lines = [title, sep, header, sep]
+    for r in cells:
+        lines.append("| " + " | ".join(v.rjust(w) for v, w in zip(r, widths)) + " |")
+    lines.append(sep)
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def render_checks(checks: Dict[str, bool]) -> str:
+    """Render the shape-check outcomes of an experiment."""
+    lines = ["shape checks:"]
+    for name, ok in checks.items():
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Shared memory substrate: Tango-style reference tracing and
+Write-Back-with-Invalidate cache coherence simulation (infinite caches,
+configurable line size)."""
+
+from .addressing import WORD_BYTES, AddressMap
+from .coherence import WriteBackInvalidate, simulate_trace
+from .stats import CoherenceStats
+from .tango import TangoCollector
+from .trace import ReferenceTrace, TraceRecord
+from .trace_io import export_dinero, load_trace, save_trace
+from .finite_cache import FiniteWriteBackInvalidate, simulate_trace_finite
+from .reference_level import analyze_references, expand_trace, simulate_trace_reference_level
+from .update_protocol import WriteUpdate, simulate_trace_write_update
+
+__all__ = [
+    "WORD_BYTES",
+    "AddressMap",
+    "WriteBackInvalidate",
+    "simulate_trace",
+    "CoherenceStats",
+    "TangoCollector",
+    "ReferenceTrace",
+    "TraceRecord",
+    "WriteUpdate",
+    "simulate_trace_write_update",
+    "FiniteWriteBackInvalidate",
+    "simulate_trace_finite",
+    "save_trace",
+    "load_trace",
+    "export_dinero",
+    "expand_trace",
+    "analyze_references",
+    "simulate_trace_reference_level",
+]

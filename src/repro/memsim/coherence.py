@@ -1,0 +1,150 @@
+"""Write-Back-with-Invalidate coherence simulation over reference traces.
+
+Implements the protocol the paper uses for all shared memory results
+(§5.1, §5.2; Archibald & Baer's write-back invalidate family) under the
+paper's infinite-cache assumption: lines are never displaced, so the only
+way a processor loses a line is another processor's write invalidating it.
+
+Per-line state is two flat NumPy arrays:
+
+- ``sharers``: a bitmask of processors holding a valid copy;
+- ``dirty_owner``: the processor holding the line modified, or −1 (clean).
+
+Transitions per access burst (vectorised over the burst's unique lines):
+
+**Read by p** — lines p doesn't hold are fetched (``line_size`` bytes
+each; a dirty copy elsewhere is flushed and the line reverts to clean
+shared).  Fetches classify as *cold* (p never held the line) or *refetch*
+(p's copy was invalidated earlier).
+
+**Write by p** — a missing line is first fetched (write-miss fetch);
+then, if the line is not already dirty-by-p, the write goes out as a
+4-byte *word write* on the bus, every other copy is invalidated, and the
+line becomes dirty-by-p.  Subsequent writes by p hit silently in the
+cache — exactly the write-back behaviour that makes the *first* write the
+expensive one.
+
+The infinite-cache assumption plus burst-level deduplication means
+repeated references within one burst cost nothing extra, matching a real
+cache's behaviour for the router's cell-by-cell scan loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CoherenceError
+from .addressing import WORD_BYTES, AddressMap
+from .stats import CoherenceStats
+from .trace import ReferenceTrace, TraceRecord
+
+__all__ = ["WriteBackInvalidate", "simulate_trace"]
+
+
+class WriteBackInvalidate:
+    """The protocol state machine over all cache lines."""
+
+    MAX_PROCS = 63  # sharers bitmask lives in an int64
+
+    def __init__(self, n_procs: int, address_map: AddressMap) -> None:
+        if not (1 <= n_procs <= self.MAX_PROCS):
+            raise CoherenceError(f"n_procs must be in [1, {self.MAX_PROCS}]")
+        self.n_procs = n_procs
+        self.amap = address_map
+        n_lines = address_map.n_lines
+        self._sharers = np.zeros(n_lines, dtype=np.int64)
+        self._dirty_owner = np.full(n_lines, -1, dtype=np.int8)
+        self._ever_held = np.zeros(n_lines, dtype=np.int64)
+        self.stats = CoherenceStats(line_size=address_map.line_size)
+
+    # ------------------------------------------------------------------
+    def access(self, proc: int, flat_cells: np.ndarray, is_write: bool) -> None:
+        """Apply one access burst (unique lines derived from the cells)."""
+        if not (0 <= proc < self.n_procs):
+            raise CoherenceError(f"processor {proc} out of range")
+        lines = self.amap.cells_to_lines(flat_cells)
+        if lines.size == 0:
+            return
+        if is_write:
+            self.stats.n_write_refs += int(flat_cells.size)
+            self._write(proc, lines)
+        else:
+            self.stats.n_read_refs += int(flat_cells.size)
+            self._read(proc, lines)
+
+    def _read(self, proc: int, lines: np.ndarray) -> None:
+        bit = np.int64(1) << proc
+        sharers = self._sharers[lines]
+        missing = (sharers & bit) == 0
+        miss_lines = lines[missing]
+        if miss_lines.size:
+            held_before = (self._ever_held[miss_lines] & bit) != 0
+            n_refetch = int(held_before.sum())
+            n_cold = int(miss_lines.size - n_refetch)
+            ls = self.amap.line_size
+            self.stats.cold_fetch_bytes += n_cold * ls
+            self.stats.refetch_bytes += n_refetch * ls
+            # A dirty copy elsewhere is flushed to memory by the fetch
+            # (write-back), and the line reverts to clean shared.
+            dirty = self._dirty_owner[miss_lines]
+            flushed = miss_lines[dirty >= 0]
+            self.stats.writeback_bytes += int(flushed.size) * ls
+            self._dirty_owner[flushed] = -1
+        self._sharers[lines] = sharers | bit
+        self._ever_held[lines] |= bit
+
+    def _write(self, proc: int, lines: np.ndarray) -> None:
+        bit = np.int64(1) << proc
+        ls = self.amap.line_size
+        sharers = self._sharers[lines]
+
+        # 1. write misses fetch the line first
+        missing = (sharers & bit) == 0
+        miss_lines = lines[missing]
+        if miss_lines.size:
+            self.stats.write_miss_fetch_bytes += int(miss_lines.size) * ls
+            dirty = self._dirty_owner[miss_lines]
+            flushed = miss_lines[dirty >= 0]
+            self.stats.writeback_bytes += int(flushed.size) * ls
+            self._dirty_owner[flushed] = -1
+            sharers = sharers | np.where(missing, bit, 0)
+
+        # 2. first write to a line not already dirty-by-us: word write on the
+        #    bus; everyone else invalidates their copy.
+        not_ours_dirty = self._dirty_owner[lines] != proc
+        word_lines = lines[not_ours_dirty]
+        if word_lines.size:
+            self.stats.word_write_bytes += int(word_lines.size) * WORD_BYTES
+            others = sharers[not_ours_dirty] & ~bit
+            inval_mask = others != 0
+            if np.any(inval_mask):
+                self.stats.n_invalidation_events += int(inval_mask.sum())
+                # popcount of invalidated copies
+                self.stats.n_copies_invalidated += int(
+                    np.bitwise_count(others[inval_mask].astype(np.uint64)).sum()
+                )
+
+        # 3. final state: we are the only sharer and the dirty owner
+        self._sharers[lines] = bit
+        self._dirty_owner[lines] = proc
+        self._ever_held[lines] |= bit
+
+    # ------------------------------------------------------------------
+    def line_state(self, line: int) -> dict:
+        """Debug/introspection view of one line's state."""
+        return {
+            "sharers": [
+                p for p in range(self.n_procs) if self._sharers[line] >> p & 1
+            ],
+            "dirty_owner": int(self._dirty_owner[line]),
+        }
+
+
+def simulate_trace(
+    trace: ReferenceTrace, n_procs: int, address_map: AddressMap
+) -> CoherenceStats:
+    """Replay *trace* in global time order; return the traffic totals."""
+    protocol = WriteBackInvalidate(n_procs, address_map)
+    for record in trace.sorted_records():
+        protocol.access(record.proc, record.flat_cells, record.is_write)
+    return protocol.stats

@@ -1,0 +1,78 @@
+"""Shared-data reference traces (the Tango methodology, paper §2.2).
+
+"These traces contain all shared data references made by the program
+during execution.  For each reference, the time, address, and referencing
+processor are recorded."
+
+References are recorded at *access-burst* granularity: one
+:class:`TraceRecord` carries all cells a processor touches in one logical
+operation (a segment evaluation's read rectangle, a path commit's write
+set) at one virtual time.  The coherence simulator only needs the per-line
+access order between processors, which this representation preserves while
+keeping traces compact enough to hold millions of references in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+import numpy as np
+
+from ..errors import CoherenceError
+
+__all__ = ["TraceRecord", "ReferenceTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One access burst: (time, processor, read/write, flat cell indices)."""
+
+    time: float
+    proc: int
+    is_write: bool
+    flat_cells: np.ndarray
+
+    @property
+    def n_refs(self) -> int:
+        """Number of individual cell references in the burst."""
+        return int(self.flat_cells.size)
+
+
+@dataclass
+class ReferenceTrace:
+    """An append-only trace of :class:`TraceRecord` bursts.
+
+    Records may be appended out of global time order (each virtual
+    processor appends in its own time order); :meth:`sorted_records`
+    produces the interleaved global order the coherence simulator
+    consumes, breaking time ties by append sequence for determinism.
+    """
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def add(self, time: float, proc: int, is_write: bool, flat_cells: np.ndarray) -> None:
+        """Append one burst (empty bursts are dropped)."""
+        if flat_cells.size == 0:
+            return
+        if time < 0:
+            raise CoherenceError(f"negative trace time {time}")
+        self.records.append(
+            TraceRecord(time, proc, is_write, np.asarray(flat_cells, dtype=np.int64))
+        )
+
+    @property
+    def n_records(self) -> int:
+        """Number of bursts."""
+        return len(self.records)
+
+    @property
+    def n_references(self) -> int:
+        """Total individual cell references."""
+        return sum(r.n_refs for r in self.records)
+
+    def sorted_records(self) -> Iterator[TraceRecord]:
+        """Records in global ``(time, append sequence)`` order."""
+        indexed = sorted(range(len(self.records)), key=lambda i: (self.records[i].time, i))
+        for i in indexed:
+            yield self.records[i]

@@ -1,0 +1,105 @@
+"""General k-ary n-cube topologies (the full CBS machine model).
+
+Paper §2.1: "CBS simulates a k-ary n-dimensional hypercube machine (with a
+total of k^n processors)".  The experiments only use the two-dimensional
+mesh configuration (:class:`~repro.netsim.topology.MeshTopology`), but the
+substrate supports the general machine: :class:`KaryNCubeTopology` builds
+any mixed-radix unidirectional torus — a binary hypercube is ``dims=(2,) *
+n``, a 4x4 mesh is ``dims=(4, 4)``, a 3-D torus is ``dims=(4, 4, 4)`` —
+with deterministic dimension-order routing, ready to drop into
+:class:`~repro.netsim.wormhole.WormholeNetwork`.
+
+Each node owns one outgoing link per non-degenerate dimension, pointing in
+the positive (wrapping) direction; hop distance in dimension *i* is
+``(dst_i - src_i) mod k_i``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import NetworkError
+
+__all__ = ["KaryNCubeTopology"]
+
+
+class KaryNCubeTopology:
+    """A unidirectional mixed-radix k-ary n-cube.
+
+    Parameters
+    ----------
+    dims:
+        Radix per dimension, most-significant first; the node id of
+        coordinates ``(c_0, .., c_{n-1})`` is the mixed-radix number with
+        ``c_{n-1}`` least significant.
+    """
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        dims = tuple(int(k) for k in dims)
+        if not dims or any(k < 1 for k in dims):
+            raise NetworkError(f"bad cube dimensions {dims}")
+        self.dims = dims
+        self.n_dims = len(dims)
+        self.n_procs = 1
+        for k in dims:
+            self.n_procs *= k
+        self.n_links = self.n_procs * self.n_dims
+
+    # ------------------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, ...]:
+        """Mixed-radix coordinates of *node* (most significant first)."""
+        self._check(node)
+        out = []
+        rest = node
+        for k in reversed(self.dims):
+            out.append(rest % k)
+            rest //= k
+        return tuple(reversed(out))
+
+    def node_at(self, coords: Sequence[int]) -> int:
+        """Node id at *coords* (each taken modulo its radix)."""
+        if len(coords) != self.n_dims:
+            raise NetworkError(
+                f"need {self.n_dims} coordinates, got {len(coords)}"
+            )
+        node = 0
+        for c, k in zip(coords, self.dims):
+            node = node * k + (c % k)
+        return node
+
+    def link_id(self, node: int, dim: int) -> int:
+        """Dense id of *node*'s outgoing link in dimension *dim*."""
+        self._check(node)
+        if not (0 <= dim < self.n_dims):
+            raise NetworkError(f"bad dimension {dim}")
+        return node * self.n_dims + dim
+
+    # ------------------------------------------------------------------
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Dimension-order route length from *src* to *dst*."""
+        a, b = self.coords(src), self.coords(dst)
+        return sum(
+            (bi - ai) % k if k > 1 else 0 for ai, bi, k in zip(a, b, self.dims)
+        )
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Link ids of the dimension-order route (dimension 0 first)."""
+        self._check(src)
+        self._check(dst)
+        links: List[int] = []
+        cur = list(self.coords(src))
+        target = self.coords(dst)
+        for dim, k in enumerate(self.dims):
+            if k <= 1:
+                continue
+            while cur[dim] != target[dim]:
+                links.append(self.link_id(self.node_at(cur), dim))
+                cur[dim] = (cur[dim] + 1) % k
+        return links
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.n_procs):
+            raise NetworkError(f"node {node} out of range [0, {self.n_procs})")
+
+    def __repr__(self) -> str:
+        return f"KaryNCubeTopology(dims={self.dims})"

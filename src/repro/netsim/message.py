@@ -1,0 +1,57 @@
+"""Network message envelope and delivery records.
+
+The network simulator is payload-agnostic: it moves :class:`Message`
+envelopes (source, destination, length in bytes, opaque payload) and
+reports :class:`Delivery` records with the arrival time.  Update-protocol
+semantics live entirely in :mod:`repro.updates` / :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import NetworkError
+
+__all__ = ["Message", "Delivery"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A packet to be carried by the network.
+
+    ``length_bytes`` is the wire size used both for latency (the ``L`` in
+    the CBS formula) and traffic accounting.  ``payload`` is never
+    inspected by the network layer.
+    """
+
+    src: int
+    dst: int
+    length_bytes: int
+    payload: Any
+
+    def __post_init__(self) -> None:
+        if self.length_bytes <= 0:
+            raise NetworkError(f"message length must be positive, got {self.length_bytes}")
+        if self.src == self.dst:
+            raise NetworkError("messages must travel between distinct nodes")
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A completed transfer: the message plus its timing.
+
+    ``inject_time`` is when the sender handed the packet to the network;
+    ``arrive_time`` is when the destination node can first see it;
+    ``hops`` is the dimension-order route length.
+    """
+
+    message: Message
+    inject_time: float
+    arrive_time: float
+    hops: int
+
+    @property
+    def latency(self) -> float:
+        """End-to-end network latency in seconds."""
+        return self.arrive_time - self.inject_time

@@ -1,0 +1,101 @@
+"""CBS machine topology: a k-ary 2-cube with unidirectional channels.
+
+Paper §2.1: "CBS simulates a k-ary n-dimensional hypercube machine (with a
+total of k^n processors) ... with a two-dimensional mesh interconnection
+... There are unidirectional channels connecting each processor to two of
+its four neighbors."
+
+That description is Dally's unidirectional k-ary n-cube (torus): every
+node owns exactly one outgoing channel per dimension, pointing in the
+positive direction and wrapping at the edge.  Hop distance in a dimension
+is therefore ``(dst - src) mod k``.  Non-square processor counts (the
+paper's 2-processor baseline) use a ``rows x cols`` radix per dimension,
+the natural generalisation.
+
+:class:`MeshTopology` owns the link table: link ids are dense integers so
+the wormhole simulator can keep per-link state in flat arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import NetworkError
+from ..grid.regions import proc_grid_shape
+
+__all__ = ["MeshTopology"]
+
+
+class MeshTopology:
+    """Unidirectional 2-D torus over ``rows x cols`` nodes.
+
+    Each node has two outgoing links: ``+col`` (east, wrapping) and
+    ``+row`` (south, wrapping).  Links are identified as
+    ``node * 2 + dim`` with ``dim`` 0 for the column (x) dimension and 1
+    for the row (y) dimension.  Degenerate dimensions (a single row or
+    column) have no links in that dimension.
+    """
+
+    X_DIM = 0
+    Y_DIM = 1
+
+    def __init__(self, n_procs: int, shape: Tuple[int, int] = None) -> None:
+        if shape is None:
+            shape = proc_grid_shape(n_procs)
+        rows, cols = shape
+        if rows * cols != n_procs:
+            raise NetworkError(f"shape {shape} does not hold {n_procs} nodes")
+        self.n_procs = n_procs
+        self.rows = rows
+        self.cols = cols
+        self.n_links = 2 * n_procs
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """Mesh coordinates ``(row, col)`` of *node*."""
+        self._check(node)
+        return divmod(node, self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Node id at ``(row, col)`` (coordinates taken modulo the radix)."""
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def link_id(self, node: int, dim: int) -> int:
+        """Dense id of *node*'s outgoing link in dimension *dim*."""
+        self._check(node)
+        if dim not in (self.X_DIM, self.Y_DIM):
+            raise NetworkError(f"bad dimension {dim}")
+        return node * 2 + dim
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Total hops of the dimension-order route from *src* to *dst*."""
+        (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
+        dx = (c2 - c1) % self.cols if self.cols > 1 else 0
+        dy = (r2 - r1) % self.rows if self.rows > 1 else 0
+        return dx + dy
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Link ids of the deterministic dimension-order (x then y) route.
+
+        Wormhole routing is deterministic in CBS; x travels first, then y,
+        always in the positive (wrapping) direction.  An empty list means
+        ``src == dst`` (local delivery, no network traversal).
+        """
+        self._check(src)
+        self._check(dst)
+        links: List[int] = []
+        row, col = self.coords(src)
+        dst_row, dst_col = self.coords(dst)
+        while col != dst_col:
+            links.append(self.link_id(self.node_at(row, col), self.X_DIM))
+            col = (col + 1) % self.cols
+        while row != dst_row:
+            links.append(self.link_id(self.node_at(row, col), self.Y_DIM))
+            row = (row + 1) % self.rows
+        return links
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.n_procs):
+            raise NetworkError(f"node {node} out of range [0, {self.n_procs})")
+
+    def __repr__(self) -> str:
+        return f"MeshTopology({self.rows}x{self.cols})"

@@ -1,0 +1,597 @@
+"""Per-processor state machine of the message passing LocusRoute.
+
+Each :class:`MPNode` owns one region of the cost array but keeps "a view of
+the whole cost array" (§4.1) plus a delta array recording its changes.  A
+node's life is a loop over its statically assigned wires (repeated for
+every routing iteration):
+
+1. **Drain** the inbox — messages are only examined *between* wires
+   ("processors only check for newly received messages between routing
+   wires", §4.2); each packet costs disassembly time.
+2. **Look ahead** — under receiver-initiated schedules, issue ReqRmtData
+   requests for wires ``lookahead_wires`` ahead of the current one
+   ("requesting updates in advance helps ensure that the update will
+   arrive before routing for that wire actually begins", §4.3.3).
+3. **Block** — in blocking mode, idle until every outstanding ReqRmtData
+   response has arrived.
+4. **Route** — rip up the wire's previous path (later iterations),
+   evaluate the two-bend candidates against the local view, commit.
+5. **Push updates** — per the sender-initiated schedule, scan the delta
+   array and emit SendLocData (own region, absolute, to N/S/E/W
+   neighbours) and SendRmtData (remote regions, deltas, to their owners).
+
+Nodes remain responsive after finishing their own wires: an owner must
+keep answering ReqRmtData/ReqLocData for peers that are still routing.
+
+Timing: the node carries its own local clock, advanced by the
+:class:`~repro.parallel.timing.CostModel` for every operation; the event
+kernel fires the node's activations at those local times, so virtual time
+and the network's contention model stay consistent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.model import Circuit
+from ..errors import ProtocolError
+from ..grid.bbox import BBox
+from ..grid.cost_array import CostArray
+from ..grid.delta import DeltaArray
+from ..grid.regions import RegionMap
+from ..route.path import RoutePath
+from ..route.twobend import route_wire
+from ..route.workmodel import (
+    COMMIT_CELL_UNITS,
+    INCORPORATE_CELL_UNITS,
+    SCAN_CELL_UNITS,
+    WorkCounter,
+)
+from ..updates.packets import (
+    HEADER_BYTES,
+    UpdatePacket,
+    build_loc_data,
+    build_request,
+    build_response,
+    build_rmt_data,
+)
+from ..updates.schedule import UpdateSchedule
+from ..updates.structures import PacketStructure, wire_based_bytes
+from ..updates.types import UpdateKind, is_request
+from .timing import CostModel
+
+__all__ = ["MPNode", "NodeServices", "NodePhase"]
+
+
+class NodePhase:
+    """Node lifecycle states."""
+
+    READY = "ready"  #: activation scheduled or running
+    BUSY = "busy"  #: routing a wire; commit event pending
+    WAITING = "waiting"  #: blocked on outstanding responses
+    DONE = "done"  #: all assigned wires routed (still answers requests)
+
+
+class NodeServices:
+    """The simulator-side callbacks a node needs.
+
+    Parameters
+    ----------
+    send_packet:
+        ``send_packet(packet, inject_time)`` — hand a packet to the
+        network at the given virtual time.
+    schedule:
+        ``schedule(time, action)`` — schedule an event on the kernel and
+        return a cancellable handle.
+    cancel:
+        ``cancel(handle)`` — cancel a previously scheduled event (used by
+        interrupt-driven reception to push a wire's completion back).
+    on_ripup:
+        ``on_ripup(proc, wire_idx, path, time)`` — ground-truth rip-up.
+    on_commit:
+        ``on_commit(proc, wire_idx, path, time)`` — ground-truth commit
+        (the simulator prices the path for the occupancy factor here).
+    on_finished:
+        ``on_finished(proc, time)`` — the node routed its last wire.
+    """
+
+    def __init__(
+        self,
+        send_packet: Callable[[UpdatePacket, float], None],
+        schedule: Callable[[float, Callable[[], None]], object],
+        on_ripup: Callable[[int, int, RoutePath, float], None],
+        on_commit: Callable[[int, int, RoutePath, float], None],
+        on_finished: Callable[[int, float], None],
+        cancel: Callable[[object], None] = lambda handle: None,
+    ) -> None:
+        self.send_packet = send_packet
+        self.schedule = schedule
+        self.on_ripup = on_ripup
+        self.on_commit = on_commit
+        self.on_finished = on_finished
+        self.cancel = cancel
+
+
+class MPNode:
+    """One processor of the message passing implementation."""
+
+    def __init__(
+        self,
+        proc: int,
+        circuit: Circuit,
+        regions: RegionMap,
+        schedule: UpdateSchedule,
+        wires: Sequence[int],
+        iterations: int,
+        cost_model: CostModel,
+        services: NodeServices,
+    ) -> None:
+        self.proc = proc
+        self.circuit = circuit
+        self.regions = regions
+        self.schedule = schedule
+        self.cost_model = cost_model
+        self.services = services
+
+        self.view = CostArray(circuit.n_channels, circuit.n_grids)
+        self.delta = DeltaArray(circuit.n_channels, circuit.n_grids)
+        self.own_region: BBox = regions.region(proc)
+        self.neighbors: List[int] = regions.neighbors(proc)
+
+        #: assigned wires, repeated once per iteration in the same order
+        self.queue: List[int] = [w for _ in range(iterations) for w in wires]
+        self._wires_per_iteration = max(1, len(wires))
+        self.qi = 0
+        self._lookahead_pos = 0
+
+        self.clock = 0.0
+        self.phase = NodePhase.READY
+        self.work = WorkCounter()
+        self.paths: Dict[int, RoutePath] = {}
+        self.wire_prices: Dict[int, int] = {}
+
+        self._inbox: List[Tuple[float, int, UpdatePacket]] = []
+        self._inbox_seq = itertools.count()
+        self._activation_pending = False
+        self._pending_wire: Optional[Tuple[int, object]] = None
+        self._commit_event: Optional[object] = None
+        self._interrupt_busy_until = 0.0
+        self.interrupts_serviced = 0
+
+        # receiver-initiated bookkeeping
+        self._region_touch_count: Dict[int, int] = {}
+        self._region_req_bbox: Dict[int, BBox] = {}
+        self.outstanding_responses = 0
+        self._reqs_received_from: Dict[int, int] = {}
+
+        # sender-initiated counters
+        self._since_send_loc = 0
+        self._since_send_rmt = 0
+
+        # change-count bookkeeping for the wire-based packet encoding
+        # (§4.3.1): (changed wires, changed segments) since the last send,
+        # tracked separately for the own region (SendLocData) and for each
+        # remote region (SendRmtData).
+        self._chg_loc = [0, 0]
+        self._chg_rmt: Dict[int, List[int]] = {}
+
+        # accounting
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.blocked_time_s = 0.0
+        self.finish_time_s = math.nan
+        self._total_area = circuit.n_channels * circuit.n_grids
+
+    # ------------------------------------------------------------------
+    # simulator interface
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the node's first activation at time 0."""
+        self._schedule_activation(0.0)
+
+    def deliver(self, packet: UpdatePacket, arrive_time: float) -> None:
+        """Network delivery callback: enqueue and wake the node if idle.
+
+        Under interrupt-driven reception (§4.2), request packets arriving
+        while a wire is being routed are serviced immediately instead of
+        waiting for the next between-wires poll; the interrupted wire's
+        completion is pushed back by the service time.
+        """
+        self.messages_received += 1
+        if (
+            self.schedule.interrupt_reception
+            and is_request(packet.kind)
+            and self.phase == NodePhase.BUSY
+            and self._pending_wire is not None
+        ):
+            self._service_interrupt(packet, arrive_time)
+            return
+        heapq.heappush(self._inbox, (arrive_time, next(self._inbox_seq), packet))
+        if self.phase in (NodePhase.WAITING, NodePhase.DONE) and not self._activation_pending:
+            self._schedule_activation(max(self.clock, arrive_time))
+
+    def _service_interrupt(self, packet: UpdatePacket, arrive_time: float) -> None:
+        """Handle a request at arrival time, delaying the current wire."""
+        self.interrupts_serviced += 1
+        start = max(arrive_time, self._interrupt_busy_until)
+        wire_finish = self.clock
+        # Run the handler in an "interrupt context" clock so the response
+        # is injected near the arrival time, not at the end of the wire.
+        self.clock = start + self.cost_model.interrupt_overhead_s
+        self._process_packet(packet)
+        service_end = self.clock
+        self._interrupt_busy_until = service_end
+        # The interrupted computation resumes where it left off, finishing
+        # later by the time the interrupt handler consumed.
+        self.clock = wire_finish + (service_end - start)
+        if self._commit_event is not None:
+            self.services.cancel(self._commit_event)
+            self._commit_event = self.services.schedule(self.clock, self._finish_wire)
+
+    @property
+    def is_done(self) -> bool:
+        """True once every assigned wire (every iteration) is routed."""
+        return self.qi >= len(self.queue)
+
+    # ------------------------------------------------------------------
+    # activation: drain, look ahead, maybe block, start routing a wire
+    # ------------------------------------------------------------------
+    def _schedule_activation(self, time: float) -> None:
+        self._activation_pending = True
+        self.services.schedule(time, lambda t=time: self._activate(t))
+
+    def _activate(self, event_time: float) -> None:
+        self._activation_pending = False
+        # An activation scheduled by a delivery may be later than the local
+        # clock; the gap is idle time the node simply waits through.
+        self.clock = max(self.clock, event_time)
+        was_waiting = self.phase == NodePhase.WAITING
+        self.phase = NodePhase.READY
+        self._drain_inbox()
+
+        if self.is_done:
+            self.phase = NodePhase.DONE
+            return
+
+        self._issue_lookahead_requests()
+
+        if self.schedule.blocking and self.outstanding_responses > 0:
+            # Idle until responses arrive; deliveries re-activate us.  Any
+            # time spent here counts as blocked time once we resume.
+            self.phase = NodePhase.WAITING
+            if not was_waiting:
+                self._block_start = self.clock
+            return
+        if was_waiting and hasattr(self, "_block_start"):
+            self.blocked_time_s += max(0.0, self.clock - self._block_start)
+            del self._block_start
+
+        self._start_wire()
+
+    def _drain_inbox(self) -> None:
+        """Process every packet that has arrived by the local clock.
+
+        Disassembly advances the clock, which may make further queued
+        packets eligible; the loop runs until the head of the inbox is in
+        the local future.
+        """
+        while self._inbox and self._inbox[0][0] <= self.clock:
+            _, _, packet = heapq.heappop(self._inbox)
+            self._process_packet(packet)
+
+    def _start_wire(self) -> None:
+        wire_idx = self.queue[self.qi]
+        wire = self.circuit.wire(wire_idx)
+
+        # Rip up the previous iteration's path before rerouting (§3).
+        old = self.paths.get(wire_idx)
+        if old is not None:
+            # The local view may disagree with reality after absolute
+            # overwrites (SendLocData replaces the receiver's view, §4.3.2),
+            # so rip-ups on the view are non-strict; the ground truth rip-up
+            # in the simulator stays strict.
+            self.view.remove_path(old.flat_cells, strict=False)
+            self.delta.record_path(old.flat_cells, -1)
+            self._record_change_counts(old, wire.n_pins - 1)
+            self.work.add_commit(old.n_cells)
+            self.clock += self.cost_model.work_time(COMMIT_CELL_UNITS * old.n_cells)
+            self.services.on_ripup(self.proc, wire_idx, old, self.clock)
+
+        iteration = self.qi // self._wires_per_iteration
+        result = route_wire(self.view, wire, tie_break=iteration % 2)
+        self.work.add_route(result.work_cells)
+        commit_units = COMMIT_CELL_UNITS * result.path.n_cells
+        self.work.add_commit(result.path.n_cells)
+        self.clock += self.cost_model.work_time(result.work_cells + commit_units)
+
+        self.phase = NodePhase.BUSY
+        self._pending_wire = (wire_idx, result)
+        self._commit_event = self.services.schedule(self.clock, self._finish_wire)
+
+    def _record_change_counts(self, path: RoutePath, n_segments: int) -> None:
+        """Track per-region change counts for the wire-based encoding."""
+        box = path.bbox()
+        for owner in self.regions.regions_touched(box):
+            if owner == self.proc:
+                self._chg_loc[0] += 1
+                self._chg_loc[1] += n_segments
+            else:
+                entry = self._chg_rmt.setdefault(owner, [0, 0])
+                entry[0] += 1
+                entry[1] += n_segments
+
+    def _finish_wire(self) -> None:
+        assert self._pending_wire is not None
+        wire_idx, result = self._pending_wire
+        self._pending_wire = None
+        self._commit_event = None
+
+        self.view.apply_path(result.path.flat_cells)
+        self.delta.record_path(result.path.flat_cells, +1)
+        self._record_change_counts(result.path, len(result.segments))
+        self.paths[wire_idx] = result.path
+        self.services.on_commit(self.proc, wire_idx, result.path, self.clock)
+
+        self.qi += 1
+        self._since_send_loc += 1
+        self._since_send_rmt += 1
+        self._push_scheduled_updates()
+
+        if self.is_done:
+            self.finish_time_s = self.clock
+            self.phase = NodePhase.DONE
+            self.services.on_finished(self.proc, self.clock)
+            # One final drain keeps the inbox from sitting on requests that
+            # arrived while we routed our last wire.
+            self._drain_inbox()
+            return
+        self._schedule_activation(self.clock)
+
+    # ------------------------------------------------------------------
+    # receiver-initiated machinery
+    # ------------------------------------------------------------------
+    def _issue_lookahead_requests(self) -> None:
+        if self.schedule.req_rmt_every is None:
+            return
+        horizon = min(len(self.queue), self.qi + 1 + self.schedule.lookahead_wires)
+        while self._lookahead_pos < horizon:
+            wire = self.circuit.wire(self.queue[self._lookahead_pos])
+            c_lo, x_lo, c_hi, x_hi = wire.bounding_box
+            wire_box = BBox(c_lo, x_lo, c_hi, x_hi)
+            for owner in self.regions.regions_touched(wire_box):
+                if owner == self.proc:
+                    continue
+                clipped = wire_box.intersect(self.regions.region(owner))
+                if clipped is None:
+                    continue
+                self._region_touch_count[owner] = (
+                    self._region_touch_count.get(owner, 0) + 1
+                )
+                # The request covers the footprint of the wire that tripped
+                # the counter — the area the processor is about to route in.
+                # (Accumulating a union over all counted wires inflates
+                # responses toward whole-region copies and erases the
+                # receiver-initiated traffic advantage the paper measures.)
+                self._region_req_bbox[owner] = clipped
+                if self._region_touch_count[owner] >= self.schedule.req_rmt_every:
+                    self._send_req_rmt(owner)
+            self._lookahead_pos += 1
+
+    def _send_req_rmt(self, owner: int) -> None:
+        bbox = self._region_req_bbox.pop(owner)
+        self._region_touch_count[owner] = 0
+        packet = build_request(
+            UpdateKind.REQ_RMT_DATA, self.proc, owner, bbox, region_owner=owner
+        )
+        self.outstanding_responses += 1
+        self._emit(packet, payload_cells=0)
+
+    # ------------------------------------------------------------------
+    # sender-initiated machinery
+    # ------------------------------------------------------------------
+    def _push_scheduled_updates(self) -> None:
+        k1 = self.schedule.send_loc_every
+        if k1 is not None and self._since_send_loc >= k1:
+            self._since_send_loc = 0
+            self._send_loc_data()
+        k2 = self.schedule.send_rmt_every
+        if k2 is not None and self._since_send_rmt >= k2:
+            self._since_send_rmt = 0
+            self._send_rmt_data()
+
+    def _encoding_override(self, kind: UpdateKind, region_owner: int) -> Optional[int]:
+        """Wire-byte override for the non-default §4.3.1 encodings.
+
+        Returns ``None`` for the bounding-box structure (sizes follow the
+        bbox), the wire-based byte count for :attr:`PacketStructure.WIRE_BASED`,
+        and ``None`` for FULL_REGION (the caller widens the bbox instead).
+        """
+        structure = self.schedule.packet_structure
+        if structure is not PacketStructure.WIRE_BASED:
+            return None
+        counts = (
+            self._chg_loc
+            if region_owner == self.proc and kind is UpdateKind.SEND_LOC_DATA
+            else self._chg_rmt.get(region_owner, [0, 0])
+        )
+        return HEADER_BYTES + wire_based_bytes(counts[0], counts[1])
+
+    def _send_loc_data(self) -> None:
+        """Push this owner's region (absolute) to its mesh neighbours."""
+        self.work.add_scan(self.own_region.area)
+        self.clock += self.cost_model.work_time(SCAN_CELL_UNITS * self.own_region.area)
+        template = build_loc_data(
+            self.proc, self.proc, self.view, self.delta, self.own_region
+        )
+        if template is None:
+            return
+        bbox, values = template.bbox, template.values
+        if self.schedule.packet_structure is PacketStructure.FULL_REGION:
+            bbox = self.own_region
+            values = self.view.extract(self.own_region)
+        override = self._encoding_override(UpdateKind.SEND_LOC_DATA, self.proc)
+        for neighbor in self.neighbors:
+            packet = UpdatePacket(
+                kind=template.kind,
+                src=self.proc,
+                dst=neighbor,
+                bbox=bbox,
+                values=values,
+                region_owner=self.proc,
+                wire_bytes=override,
+            )
+            self._emit(packet, payload_cells=packet.payload_cells)
+        self.delta.clear_region(self.own_region)
+        self._chg_loc = [0, 0]
+
+    def _send_rmt_data(self) -> None:
+        """Push accumulated deltas of every remote region to its owner."""
+        scan_area = self._total_area - self.own_region.area
+        self.work.add_scan(scan_area)
+        self.clock += self.cost_model.work_time(SCAN_CELL_UNITS * scan_area)
+        for owner in range(self.regions.n_procs):
+            if owner == self.proc:
+                continue
+            region = self.regions.region(owner)
+            packet = build_rmt_data(self.proc, owner, self.delta, region)
+            if packet is None:
+                continue
+            if self.schedule.packet_structure is PacketStructure.FULL_REGION:
+                packet = UpdatePacket(
+                    kind=packet.kind,
+                    src=packet.src,
+                    dst=packet.dst,
+                    bbox=region,
+                    values=self.delta.extract(region),
+                    region_owner=owner,
+                )
+            else:
+                override = self._encoding_override(UpdateKind.SEND_RMT_DATA, owner)
+                if override is not None:
+                    packet = UpdatePacket(
+                        kind=packet.kind,
+                        src=packet.src,
+                        dst=packet.dst,
+                        bbox=packet.bbox,
+                        values=packet.values,
+                        region_owner=owner,
+                        wire_bytes=override,
+                    )
+            self._emit(packet, payload_cells=packet.payload_cells)
+            self.delta.clear_region(region)
+            self._chg_rmt[owner] = [0, 0]
+
+    # ------------------------------------------------------------------
+    # packet processing
+    # ------------------------------------------------------------------
+    def _process_packet(self, packet: UpdatePacket) -> None:
+        cells = packet.payload_cells
+        self.work.add_incorporate(cells)
+        self.clock += (
+            self.cost_model.packet_fixed_s
+            + self.cost_model.work_time(INCORPORATE_CELL_UNITS * cells)
+        )
+        kind = packet.kind
+        if kind is UpdateKind.SEND_LOC_DATA:
+            self._apply_absolute(packet)
+        elif kind is UpdateKind.SEND_RMT_DATA:
+            # A remote's deltas inside our own region: fold them into the
+            # view *and* into our delta array, so the next SendLocData push
+            # propagates the remote's contribution to our neighbours.
+            self.view.accumulate(packet.bbox, packet.values)
+            self.delta.accumulate(packet.bbox, packet.values)
+            # For the wire-based encoding, an incorporated remote update
+            # counts as roughly one changed wire (two segments) that the
+            # next SendLocData must describe.
+            self._chg_loc[0] += 1
+            self._chg_loc[1] += 2
+        elif kind is UpdateKind.REQ_RMT_DATA:
+            self._answer_req_rmt(packet)
+        elif kind is UpdateKind.REQ_LOC_DATA:
+            self._answer_req_loc(packet)
+        elif kind is UpdateKind.RSP_RMT_DATA:
+            self._apply_absolute(packet)
+            self.outstanding_responses -= 1
+            if self.outstanding_responses < 0:
+                raise ProtocolError("response arrived without a matching request")
+        elif kind is UpdateKind.RSP_LOC_DATA:
+            self.view.accumulate(packet.bbox, packet.values)
+            self.delta.accumulate(packet.bbox, packet.values)
+        else:  # pragma: no cover - exhaustive over UpdateKind
+            raise ProtocolError(f"node cannot process packet kind {kind}")
+
+    def _apply_absolute(self, packet: UpdatePacket) -> None:
+        """Fold absolute region data (SendLocData / RspRmtData) into the view.
+
+        The receiver replaces its view of the updated area (§4.3.2) and
+        then re-applies its *own unsent deltas* there: the sender's
+        absolute data cannot include changes the receiver has not shipped
+        yet, and a plain replace would erase the receiver's knowledge of
+        its own in-flight wires — staleness that grows *with* update
+        frequency.  Once those deltas are shipped (and cleared), the
+        owner's subsequent absolutes carry them, so nothing double-counts.
+        """
+        self.view.replace(packet.bbox, packet.values)
+        pending = self.delta.extract(packet.bbox)
+        if pending.any():
+            self.view.accumulate(packet.bbox, pending)
+
+    def _answer_req_rmt(self, request: UpdatePacket) -> None:
+        """Serve absolute data from our (authoritative) owned region."""
+        clipped = request.bbox.intersect(self.own_region)
+        if clipped is None:
+            raise ProtocolError(
+                f"proc {self.proc} received ReqRmtData for a region it does not own"
+            )
+        response = build_response(
+            build_request(
+                UpdateKind.REQ_RMT_DATA, request.src, self.proc, clipped, self.proc
+            ),
+            self.view.extract(clipped),
+        )
+        self._emit(response, payload_cells=response.payload_cells)
+
+        # ReqLocData trigger: a remote that keeps asking about our region
+        # has been routing in it — pull its deltas (§4.3.3).
+        if self.schedule.req_loc_every is not None:
+            count = self._reqs_received_from.get(request.src, 0) + 1
+            if count >= self.schedule.req_loc_every:
+                self._reqs_received_from[request.src] = 0
+                req = build_request(
+                    UpdateKind.REQ_LOC_DATA,
+                    self.proc,
+                    request.src,
+                    self.own_region,
+                    region_owner=self.proc,
+                )
+                self._emit(req, payload_cells=0)
+            else:
+                self._reqs_received_from[request.src] = count
+
+    def _answer_req_loc(self, request: UpdatePacket) -> None:
+        """Serve our pending deltas inside the requesting owner's region."""
+        dirty = self.delta.region_dirty_bbox(request.bbox)
+        if dirty is None:
+            return  # nothing to report; owners do not block on ReqLocData
+        response = build_response(
+            build_request(
+                UpdateKind.REQ_LOC_DATA, request.src, self.proc, dirty, request.src
+            ),
+            self.delta.extract(dirty),
+        )
+        self.delta.clear_region(dirty)
+        self._emit(response, payload_cells=response.payload_cells)
+
+    # ------------------------------------------------------------------
+    def _emit(self, packet: UpdatePacket, payload_cells: int) -> None:
+        """Pay assembly costs and hand the packet to the network."""
+        self.work.add_marshal(payload_cells)
+        self.clock += (
+            self.cost_model.packet_fixed_s
+            + self.cost_model.work_time(INCORPORATE_CELL_UNITS * payload_cells)
+        )
+        self.messages_sent += 1
+        self.services.send_packet(packet, self.clock)

@@ -1,0 +1,303 @@
+"""The shared memory LocusRoute simulation (Tango methodology).
+
+Paper §3: one cost array in shared memory, accessed without locks;
+processors take wires from a distributed loop (or, for the locality study
+of Table 5, from a static assignment) and hit a barrier at the end of each
+iteration.  §2.2: the traces behind the traffic numbers come from
+fine-grained multiplexed execution on one machine — exactly what this
+module does in virtual time:
+
+- a processor *starts* a wire at its current virtual time: it rips up the
+  old path (writes, visible immediately), then evaluates the two-bend
+  candidates against the **current committed global array**;
+- the chosen path *commits* at start + work time.  Wires in flight on
+  other processors during that window are invisible to the evaluation —
+  "the processors do not know about the work other processors are doing
+  simultaneously" (§1), which is the entire parallel quality-degradation
+  mechanism;
+- every read rectangle and write burst is recorded in a Tango-style
+  reference trace, which is then replayed through the
+  Write-Back-with-Invalidate coherence simulator for each requested cache
+  line size.
+
+Execution times are reported in Encore-Multimax seconds: the same work
+units as the message passing runs, scaled by the paper's 5x NS32032
+slowdown (compare with message passing times multiplied by five, §5.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..assign.base import Assignment
+from ..assign.distributed_loop import DistributedLoop
+from ..circuits.model import Circuit
+from ..errors import SimulationError
+from ..events.sim import Simulator
+from ..grid.cost_array import CostArray
+from ..grid.regions import RegionMap
+from ..memsim.addressing import AddressMap
+from ..memsim.coherence import simulate_trace
+from ..memsim.update_protocol import simulate_trace_write_update
+from ..memsim.stats import CoherenceStats
+from ..memsim.tango import SharedLayout, TangoCollector
+from ..route.path import RoutePath
+from ..route.quality import QualityReport, circuit_height
+from ..route.twobend import route_wire
+from ..route.workmodel import COMMIT_CELL_UNITS, WorkCounter
+from .results import NodeSummary, ParallelRunResult
+from .timing import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["run_shared_memory", "DEFAULT_LINE_SIZE", "LOOP_GRAB_UNITS"]
+
+#: Cache line size used when none is specified (Table 5 uses 8-byte lines).
+DEFAULT_LINE_SIZE = 8
+#: Work units to grab a wire subscript from the distributed loop (the
+#: shared counter fetch-and-add plus loop bookkeeping).
+LOOP_GRAB_UNITS = 4.0
+
+
+def run_shared_memory(
+    circuit: Circuit,
+    n_procs: int = 16,
+    iterations: int = 3,
+    assignment: Optional[Assignment] = None,
+    line_size: int = DEFAULT_LINE_SIZE,
+    extra_line_sizes: Sequence[int] = (),
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    collect_trace: bool = True,
+    trace_chunks: int = 4,
+    protocol: str = "invalidate",
+    keep_trace: bool = False,
+) -> ParallelRunResult:
+    """Simulate the shared memory LocusRoute on *circuit*.
+
+    Parameters
+    ----------
+    circuit, n_procs, iterations, cost_model:
+        As for :func:`~repro.parallel.mp_sim.run_message_passing`.
+    assignment:
+        ``None`` selects the paper's dynamic distributed loop; a static
+        :class:`~repro.assign.base.Assignment` reproduces the Table 5
+        locality rows.
+    line_size:
+        Cache line size (bytes) for the primary coherence result.
+    extra_line_sizes:
+        Additional line sizes to replay the same trace through (Table 3);
+        results land in ``meta["coherence_by_line_size"]``.
+    collect_trace:
+        Disable to skip tracing/coherence entirely (quality-only runs).
+    trace_chunks:
+        Sweeps per evaluation rectangle in the trace (see
+        :class:`~repro.memsim.tango.TangoCollector`).
+    protocol:
+        Coherence protocol for the traffic replay: ``"invalidate"`` (the
+        paper's Write-Back-with-Invalidate) or ``"update"`` (the
+        Archibald & Baer write-update alternative; see
+        :mod:`repro.memsim.update_protocol`).
+    keep_trace:
+        Stash the raw :class:`~repro.memsim.trace.ReferenceTrace` in
+        ``meta["trace"]`` (and the :class:`~repro.memsim.tango.
+        SharedLayout` in ``meta["layout"]``) so callers can replay it
+        through other protocols or cache configurations.
+    """
+    if protocol not in ("invalidate", "update"):
+        raise SimulationError(f"unknown coherence protocol {protocol!r}")
+    if n_procs < 1:
+        raise SimulationError("need at least one processor")
+    if assignment is not None and (
+        assignment.n_procs != n_procs or assignment.n_wires != circuit.n_wires
+    ):
+        raise SimulationError("assignment does not match circuit / processor count")
+
+    sim = Simulator()
+    # Hierarchical (NUMA) timing: references outside a processor's own
+    # region cost ``numa_remote_factor`` times a local one (§5.3.2).  The
+    # region geometry matches the message passing mapping's Figure-2 grid.
+    numa = cost_model.numa_remote_factor
+    numa_regions = (
+        RegionMap(circuit.n_channels, circuit.n_grids, n_procs)
+        if numa != 1.0 and n_procs > 1
+        else None
+    )
+    layout = SharedLayout(circuit.n_channels, circuit.n_grids, circuit.n_wires)
+    tango = TangoCollector(layout, enabled=collect_trace, chunks=trace_chunks)
+    truth = CostArray(circuit.n_channels, circuit.n_grids)
+    paths: Dict[int, RoutePath] = {}
+    wire_prices: Dict[int, int] = {}
+    wire_router = np.zeros(circuit.n_wires, dtype=np.int64)
+
+    clocks = [0.0] * n_procs
+    counters = [WorkCounter() for _ in range(n_procs)]
+    wires_routed = [0] * n_procs
+    slow = cost_model.sm_slowdown
+
+    # Wire sourcing: dynamic loop or per-processor static pointers.
+    loop = DistributedLoop(range(circuit.n_wires)) if assignment is None else None
+    static_lists = assignment.per_proc_lists() if assignment is not None else None
+    static_pos = [0] * n_procs
+
+    state = {"iteration": 0, "at_barrier": 0, "finish_time": 0.0}
+
+    def work_time(units: float) -> float:
+        return cost_model.work_time(units) * slow
+
+    def next_wire(proc: int) -> Optional[int]:
+        if loop is not None:
+            counters[proc].route_units += LOOP_GRAB_UNITS
+            tango.record_loop_grab(clocks[proc], proc)
+            clocks[proc] += work_time(LOOP_GRAB_UNITS)
+            return loop.next_wire()
+        lst = static_lists[proc]
+        if static_pos[proc] >= len(lst):
+            return None
+        wire = lst[static_pos[proc]]
+        static_pos[proc] += 1
+        return wire
+
+    def proc_step(proc: int, event_time: float) -> None:
+        clocks[proc] = max(clocks[proc], event_time)
+        wire_idx = next_wire(proc)
+        if wire_idx is None:
+            arrive_barrier(proc)
+            return
+        t0 = clocks[proc]
+        wire = circuit.wire(wire_idx)
+
+        old = paths.get(wire_idx)
+        ripup_units = 0.0
+        if old is not None:
+            truth.remove_path(old.flat_cells, strict=True)
+            tango.record_ripup(t0, proc, wire_idx, old)
+            ripup_units = COMMIT_CELL_UNITS * old.n_cells
+            counters[proc].add_commit(old.n_cells)
+
+        result = route_wire(truth, wire, tie_break=state["iteration"] % 2)
+        counters[proc].add_route(result.work_cells)
+        commit_units = COMMIT_CELL_UNITS * result.path.n_cells
+        counters[proc].add_commit(result.path.n_cells)
+        total_units = ripup_units + result.work_cells + commit_units
+        if numa_regions is not None:
+            # Scale this wire's time by the remote fraction of its
+            # evaluation footprint under the hierarchical memory model.
+            channels, xs = result.path.coords()
+            owners = numa_regions.owners_of_cells(channels, xs)
+            remote_frac = float((owners != proc).mean())
+            total_units *= (1.0 - remote_frac) + remote_frac * numa
+        clocks[proc] = t0 + work_time(total_units)
+
+        t_commit = clocks[proc]
+        tango.record_evaluation(t0, t_commit, proc, result.segments)
+        sim.at(t_commit, lambda: commit(proc, wire_idx, result.path, t_commit))
+
+    def commit(proc: int, wire_idx: int, path: RoutePath, time: float) -> None:
+        wire_prices[wire_idx] = truth.path_cost(path.flat_cells)
+        truth.apply_path(path.flat_cells)
+        tango.record_commit(time, proc, wire_idx, path)
+        paths[wire_idx] = path
+        wire_router[wire_idx] = proc
+        wires_routed[proc] += 1
+        sim.at(time, lambda: proc_step(proc, time))
+
+    def arrive_barrier(proc: int) -> None:
+        state["at_barrier"] += 1
+        if state["at_barrier"] < n_procs:
+            return
+        # Everyone arrived: the barrier releases at the latest clock.
+        release = max(clocks)
+        state["at_barrier"] = 0
+        state["iteration"] += 1
+        state["finish_time"] = release
+        if state["iteration"] >= iterations:
+            return
+        if loop is not None:
+            loop.reset()
+        else:
+            for p in range(n_procs):
+                static_pos[p] = 0
+        for p in range(n_procs):
+            clocks[p] = release
+        for p in range(n_procs):
+            sim.at(release, lambda p=p: proc_step(p, release))
+
+    for p in range(n_procs):
+        sim.at(0.0, lambda p=p: proc_step(p, 0.0))
+    sim.run()
+
+    if state["iteration"] != iterations:
+        raise SimulationError("shared memory run ended before all iterations completed")
+    if len(paths) != circuit.n_wires:
+        raise SimulationError("not every wire was routed")
+    if sum(wires_routed) != circuit.n_wires * iterations:
+        raise SimulationError(
+            f"routed {sum(wires_routed)} wire instances, expected "
+            f"{circuit.n_wires * iterations}"
+        )
+
+    quality = QualityReport(
+        circuit_height=circuit_height(truth),
+        occupancy_factor=int(sum(wire_prices.values())),
+        total_wire_cells=truth.total_occupancy(),
+    )
+
+    coherence: Optional[CoherenceStats] = None
+    by_line: Dict[int, CoherenceStats] = {}
+    if collect_trace:
+        for ls in [line_size, *extra_line_sizes]:
+            if ls in by_line:
+                continue
+            amap = AddressMap(
+                circuit.n_channels,
+                circuit.n_grids,
+                ls,
+                extra_words=layout.total_words - layout.array_words,
+            )
+            simulate = (
+                simulate_trace if protocol == "invalidate" else simulate_trace_write_update
+            )
+            by_line[ls] = simulate(tango.trace, n_procs, amap)
+        coherence = by_line[line_size]
+
+    summaries = [
+        NodeSummary(
+            proc=p,
+            wires_routed=wires_routed[p],
+            finish_time_s=clocks[p],
+            route_units=counters[p].route_units,
+            commit_units=counters[p].commit_units,
+            assemble_units=0.0,
+            incorporate_units=0.0,
+            messages_sent=0,
+            messages_received=0,
+            blocked_time_s=0.0,
+        )
+        for p in range(n_procs)
+    ]
+    meta: Dict[str, object] = {
+        "assignment": assignment.method if assignment is not None else "distributed loop",
+        "n_procs": n_procs,
+        "iterations": iterations,
+        "circuit": circuit.name,
+        "line_size": line_size,
+        "protocol": protocol,
+        "trace_records": tango.trace.n_records,
+        "trace_references": tango.trace.n_references,
+    }
+    if by_line:
+        meta["coherence_by_line_size"] = {ls: s.as_dict() for ls, s in by_line.items()}
+    if keep_trace and collect_trace:
+        meta["trace"] = tango.trace
+        meta["layout"] = layout
+    return ParallelRunResult(
+        paradigm="shared_memory",
+        quality=quality,
+        exec_time_s=state["finish_time"],
+        paths=paths,
+        wire_router=wire_router,
+        node_summaries=summaries,
+        truth=truth,
+        coherence=coherence,
+        meta=meta,
+    )

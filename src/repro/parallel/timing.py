@@ -1,0 +1,85 @@
+"""Execution-time cost model for the simulated machines.
+
+CBS simulated Ametek Series 2010 nodes (MC68020 class); the Tango runs
+executed on an Encore Multimax whose NS32032 processors are "about five
+times less powerful" (paper §2.1 footnote).  This module converts the
+machine-independent work units counted by
+:class:`~repro.route.workmodel.WorkCounter` into simulated seconds, plus
+the fixed per-packet software overheads.
+
+Calibration
+-----------
+The single free constant is :attr:`CostModel.time_per_unit_s` — seconds
+per candidate-cell inspection on an Ametek-class node.  At 8 µs/unit
+(≈ 25 MC68020 instructions at ~3 MIPS for the loop control, indexing,
+bounds checks and accumulation of the original cell-by-cell scan), the
+sequential bnrE-like routing run costs ≈ 17 simulated seconds, which puts 16-processor message
+passing runs in the paper's 1.1-1.9 s band and the 2-processor run near
+the paper's 8.4 s.  All *relative* effects (update-frequency dependence,
+blocking penalty, load-imbalance penalty, speedup shape) are independent
+of this constant.
+
+Network constants default to the paper's CBS settings and live in
+:mod:`repro.netsim.wormhole`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.wormhole import HOP_TIME_S, PROCESS_TIME_S
+from ..route.workmodel import WorkCounter
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation simulated times.
+
+    Attributes
+    ----------
+    time_per_unit_s:
+        Seconds per work unit (candidate-cell inspection equivalent).
+    packet_fixed_s:
+        Fixed software overhead per packet assembled or disassembled
+        (buffer management, dispatch) — paid in addition to the per-cell
+        marshal/incorporate work and the network's ProcessTime.
+    hop_time_s, process_time_s:
+        The CBS network constants (exposed here for convenience).
+    sm_slowdown:
+        Multimax-vs-Ametek processor speed ratio.  "To simulate the
+        Ametek's MC68020 processing nodes, all times from the Encore
+        Multimax clock were divided by five" — equivalently, shared memory
+        execution times are ``sm_slowdown`` times the same work on an
+        Ametek node.
+    """
+
+    time_per_unit_s: float = 8.0e-6
+    packet_fixed_s: float = 20.0e-6
+    hop_time_s: float = HOP_TIME_S
+    process_time_s: float = PROCESS_TIME_S
+    sm_slowdown: float = 5.0
+    #: Context-switch cost when a message interrupts wire routing (the
+    #: §4.2 interrupt-driven reception model; only used when the schedule
+    #: enables ``interrupt_reception``).
+    interrupt_overhead_s: float = 15.0e-6
+    #: Hierarchical/NUMA shared memory model (§5.3.2): a reference to a
+    #: cost-array cell outside the processor's own region costs this
+    #: multiple of a local reference.  1.0 (default) is the paper's flat
+    #: bus-based Multimax; the paper observes that "in hierarchical shared
+    #: memory architectures ... a local reference can be more than an
+    #: order of magnitude faster", so ~10 models that future machine.
+    numa_remote_factor: float = 1.0
+
+    def work_time(self, units: float) -> float:
+        """Simulated seconds for *units* of routing/commit/packet work."""
+        return units * self.time_per_unit_s
+
+    def counter_time(self, counter: WorkCounter) -> float:
+        """Total simulated compute seconds of a node's work counter."""
+        return self.work_time(counter.total_units)
+
+
+#: The calibrated model used by every experiment unless overridden.
+DEFAULT_COST_MODEL = CostModel()

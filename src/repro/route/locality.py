@@ -1,0 +1,106 @@
+"""The circuit locality measure (paper §5.3.3).
+
+"The locality measure is a weighted average indicating the average distance
+(in horizontal or vertical hops) between the processor actually routing a
+wire segment, and the processor that owns the region that segment lies in.
+Thus, a locality measure of 0 indicates that all segments were routed by
+the region owner, giving perfect locality."
+
+We weight by routed cells: every cell of every routed path contributes the
+Manhattan mesh distance between the processor that routed the wire and the
+owner of that cell's region.  The paper reports 1.21 hops for bnrE and
+0.91 for MDC under the most local assignment at 16 processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AssignmentError
+from ..grid.regions import RegionMap
+from .path import RoutePath
+
+__all__ = ["LocalityReport", "locality_measure"]
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Result of a locality computation.
+
+    Attributes
+    ----------
+    mean_hops:
+        Cell-weighted mean mesh distance routing-processor -> cell owner.
+    owned_fraction:
+        Fraction of routed cells that lie in the routing processor's own
+        region (distance zero).
+    total_cells:
+        Number of (cell, wire) contributions measured.
+    per_proc_hops:
+        Mean hops per routing processor (exposes spatial imbalance).
+    """
+
+    mean_hops: float
+    owned_fraction: float
+    total_cells: int
+    per_proc_hops: Dict[int, float]
+
+
+def locality_measure(
+    regions: RegionMap,
+    paths: Mapping[int, RoutePath],
+    wire_owner: Sequence[int],
+) -> LocalityReport:
+    """Compute the locality measure over routed *paths*.
+
+    Parameters
+    ----------
+    regions:
+        The owned-region map (also defines mesh geometry).
+    paths:
+        Final routed path per wire index.
+    wire_owner:
+        Processor that routed each wire (indexed by wire index).
+    """
+    if not paths:
+        raise AssignmentError("no routed paths to measure locality over")
+
+    total = 0
+    weighted = 0.0
+    owned = 0
+    per_proc_sum: Dict[int, float] = {}
+    per_proc_n: Dict[int, int] = {}
+
+    # Precompute mesh coordinates of every processor once.
+    proc_rows = np.empty(regions.n_procs, dtype=np.int64)
+    proc_cols = np.empty(regions.n_procs, dtype=np.int64)
+    for p in range(regions.n_procs):
+        proc_rows[p], proc_cols[p] = regions.proc_coords(p)
+
+    for wire_idx, path in paths.items():
+        router_proc = wire_owner[wire_idx]
+        channels, xs = path.coords()
+        owners = regions.owners_of_cells(channels, xs)
+        dists = np.abs(proc_rows[owners] - proc_rows[router_proc]) + np.abs(
+            proc_cols[owners] - proc_cols[router_proc]
+        )
+        n = int(dists.size)
+        s = float(dists.sum())
+        total += n
+        weighted += s
+        owned += int((dists == 0).sum())
+        per_proc_sum[router_proc] = per_proc_sum.get(router_proc, 0.0) + s
+        per_proc_n[router_proc] = per_proc_n.get(router_proc, 0) + n
+
+    per_proc = {
+        p: per_proc_sum[p] / per_proc_n[p] for p in per_proc_sum if per_proc_n[p] > 0
+    }
+    return LocalityReport(
+        mean_hops=weighted / total,
+        owned_fraction=owned / total,
+        total_cells=total,
+        per_proc_hops=per_proc,
+    )

@@ -1,0 +1,68 @@
+"""Solution quality metrics (paper §3).
+
+Two measures, lower is better for both:
+
+- **Circuit height**: per channel, the routing tracks required are the
+  maximum number of wires crossing the channel at any grid column; the
+  circuit height is the sum over channels.  It is proportional to circuit
+  area.
+- **Occupancy factor**: the sum, over all wires, of the wire's path cost
+  (sum of cost-array entries along the path) *at the time the wire was
+  routed*.  In the parallel implementations we price each wire against the
+  committed global state at its commit instant, so stale routing decisions
+  show up as overlap cost exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..grid.cost_array import CostArray
+
+__all__ = ["QualityReport", "circuit_height", "track_profile"]
+
+
+def circuit_height(cost: CostArray) -> int:
+    """Total routing tracks: sum over channels of max cell occupancy."""
+    return int(cost.channel_maxima().sum())
+
+
+def track_profile(cost: CostArray) -> np.ndarray:
+    """Per-channel routing-track requirement (the channel maxima)."""
+    return cost.channel_maxima()
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quality outcome of a routing run.
+
+    Attributes
+    ----------
+    circuit_height:
+        Sum of per-channel track requirements (area proxy).
+    occupancy_factor:
+        Sum of path costs at routing time (staleness-sensitive).
+    total_wire_cells:
+        Total cells occupied by all wires (wirelength proxy).
+    """
+
+    circuit_height: int
+    occupancy_factor: int
+    total_wire_cells: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for JSON dumps and table rows."""
+        return {
+            "circuit_height": self.circuit_height,
+            "occupancy_factor": self.occupancy_factor,
+            "total_wire_cells": self.total_wire_cells,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"height={self.circuit_height} occupancy={self.occupancy_factor} "
+            f"cells={self.total_wire_cells}"
+        )

@@ -1,0 +1,43 @@
+"""Explicit cost-array update machinery for the message passing mapping:
+the Figure-3 transaction taxonomy, bounding-box packet construction from
+delta arrays, and the wire/request-count schedules of §4.3."""
+
+from .packets import (
+    ENTRY_BYTES,
+    HEADER_BYTES,
+    UpdatePacket,
+    build_loc_data,
+    build_request,
+    build_response,
+    build_rmt_data,
+    packet_bytes,
+)
+from .schedule import DEFAULT_LOOKAHEAD, UpdateSchedule
+from .structures import (
+    SEGMENT_RECORD_BYTES,
+    WIRE_RECORD_BYTES,
+    PacketStructure,
+    wire_based_bytes,
+)
+from .types import UpdateKind, is_data, is_request, is_sender_initiated
+
+__all__ = [
+    "UpdateKind",
+    "is_sender_initiated",
+    "is_request",
+    "is_data",
+    "UpdatePacket",
+    "packet_bytes",
+    "build_loc_data",
+    "build_rmt_data",
+    "build_request",
+    "build_response",
+    "HEADER_BYTES",
+    "ENTRY_BYTES",
+    "UpdateSchedule",
+    "DEFAULT_LOOKAHEAD",
+    "PacketStructure",
+    "wire_based_bytes",
+    "WIRE_RECORD_BYTES",
+    "SEGMENT_RECORD_BYTES",
+]

@@ -1,0 +1,114 @@
+"""ASCII visualisations of the paper's explanatory figures.
+
+The paper's Figures 1-3 are diagrams rather than data plots:
+
+- **Figure 1** — a standard cell placement and its cost array, with a
+  routed wire's cells highlighted: :func:`ascii_cost_array` (pass the
+  wire's path to see its footprint marked).
+- **Figure 2** — the division of the cost array into owned regions:
+  :func:`ascii_regions`.
+- **Figure 3** — the classification of update types:
+  :func:`ascii_update_taxonomy`.
+
+``examples/figures.py`` renders all three for the tiny demo circuit.
+Rendering is terminal-friendly, dependency-free and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .grid.cost_array import CostArray
+from .grid.regions import RegionMap
+from .route.path import RoutePath
+
+__all__ = ["ascii_cost_array", "ascii_regions", "ascii_update_taxonomy"]
+
+#: Occupancy glyphs: blank for empty, then increasing density.
+_DENSITY = " .:-=+*#%@"
+
+
+def ascii_cost_array(
+    cost: CostArray,
+    highlight: Optional[RoutePath] = None,
+    max_width: int = 100,
+) -> str:
+    """Render a cost array as ASCII art (Figure 1).
+
+    Cell occupancies map to a density ramp; the optional *highlight* path's
+    cells render as ``o`` (empty highlighted cell) or ``O`` (occupied) —
+    "the highlighted portions of the cost array will be incremented if
+    this route is chosen".  Wide arrays are column-downsampled to
+    ``max_width`` (each glyph shows the max of its column bucket).
+    """
+    data = cost.data
+    n_channels, n_grids = data.shape
+    step = max(1, -(-n_grids // max_width))
+    mark = np.zeros_like(data, dtype=bool)
+    if highlight is not None:
+        channels, xs = highlight.coords()
+        mark[channels, xs] = True
+
+    lines: List[str] = []
+    width = -(-n_grids // step)
+    lines.append("+" + "-" * width + "+")
+    for c in range(n_channels):
+        row_chars = []
+        for x0 in range(0, n_grids, step):
+            block = data[c, x0 : x0 + step]
+            marked = bool(mark[c, x0 : x0 + step].any())
+            level = int(block.max())
+            if marked:
+                row_chars.append("O" if level > 0 else "o")
+            else:
+                glyph = _DENSITY[min(level, len(_DENSITY) - 1)]
+                row_chars.append(glyph)
+        lines.append("|" + "".join(row_chars) + f"| channel {c}")
+    lines.append("+" + "-" * width + "+")
+    tracks = cost.channel_maxima()
+    lines.append(
+        f"circuit height = {int(tracks.sum())} tracks "
+        f"(per channel: {' '.join(str(int(t)) for t in tracks)})"
+    )
+    return "\n".join(lines)
+
+
+def ascii_regions(regions: RegionMap, max_width: int = 100) -> str:
+    """Render the owned-region division of the cost array (Figure 2)."""
+    step = max(1, -(-regions.n_grids // max_width))
+    width = -(-regions.n_grids // step)
+    lines = [
+        f"cost array {regions.n_channels}x{regions.n_grids} divided among "
+        f"{regions.n_procs} processors ({regions.p_rows}x{regions.p_cols} mesh)"
+    ]
+    lines.append("+" + "-" * width + "+")
+    for c in range(regions.n_channels):
+        chars = []
+        for x0 in range(0, regions.n_grids, step):
+            owner = regions.owner_of(c, min(x0, regions.n_grids - 1))
+            chars.append(format(owner, "X") if owner < 16 else "?")
+        lines.append("|" + "".join(chars) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append("each glyph is the hex id of the cell's owner processor")
+    return "\n".join(lines)
+
+
+def ascii_update_taxonomy() -> str:
+    """Render the Figure-3 classification of update transactions."""
+    return "\n".join(
+        [
+            "                     cost array updates",
+            "                    /                  \\",
+            "        sender initiated            receiver initiated",
+            "        /            \\              /               \\",
+            "  SendLocData    SendRmtData   ReqLocData        ReqRmtData",
+            "  (absolute,     (deltas, to   (owner pulls      (pull absolute",
+            "   own region,    the region's  a remote's        data for a",
+            "   to N/S/E/W     owner)        deltas in its     remote region",
+            "   neighbours)                  own region)       ahead of need)",
+            "                                      \\               /",
+            "                                    blocking | non-blocking",
+        ]
+    )

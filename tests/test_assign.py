@@ -1,0 +1,158 @@
+"""Tests for the wire assignment policies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.assign import (
+    Assignment,
+    DistributedLoop,
+    RoundRobinAssigner,
+    ThresholdCostAssigner,
+    fully_local,
+    load_report,
+)
+from repro.circuits import bnre_like, tiny_test_circuit
+from repro.errors import AssignmentError
+from repro.grid import RegionMap
+
+
+@pytest.fixture
+def circuit():
+    return bnre_like(n_wires=120)
+
+
+@pytest.fixture
+def regions():
+    return RegionMap(10, 341, 16)
+
+
+class TestAssignment:
+    def test_wires_of_partition(self, circuit, regions):
+        asg = RoundRobinAssigner(circuit, regions).assign()
+        all_wires = np.concatenate([asg.wires_of(p) for p in range(16)])
+        assert sorted(all_wires.tolist()) == list(range(circuit.n_wires))
+
+    def test_out_of_range_owner_rejected(self):
+        with pytest.raises(AssignmentError):
+            Assignment(owner=np.array([0, 5]), n_procs=4, method="bad")
+
+    def test_per_proc_lists_are_sorted(self, circuit, regions):
+        asg = RoundRobinAssigner(circuit, regions).assign()
+        for lst in asg.per_proc_lists():
+            assert lst == sorted(lst)
+
+
+class TestRoundRobin:
+    def test_cyclic_dealing(self, circuit, regions):
+        asg = RoundRobinAssigner(circuit, regions).assign()
+        assert asg.owner[0] == 0 and asg.owner[1] == 1 and asg.owner[16] == 0
+
+    def test_loads_balanced_by_count(self, circuit, regions):
+        asg = RoundRobinAssigner(circuit, regions).assign()
+        counts = asg.load_counts()
+        assert counts.max() - counts.min() <= 1
+
+    def test_work_balanced_via_sorted_netlist(self, regions):
+        """Wires are emitted longest-first, so cyclic dealing spreads the
+        heavy tail; at full benchmark size the imbalance is mild (the
+        paper's round robin timings are only ~6 % above the best)."""
+        full = bnre_like()
+        asg = RoundRobinAssigner(full, regions).assign()
+        report = load_report(full, asg)
+        assert report.imbalance < 1.35
+
+
+class TestThresholdCost:
+    def test_small_threshold_balances_almost_everything(self, circuit, regions):
+        asg = ThresholdCostAssigner(circuit, regions, 2).assign()
+        report = load_report(circuit, asg)
+        assert report.imbalance < 1.3
+
+    def test_infinite_threshold_fully_local(self, circuit, regions):
+        asg = fully_local(circuit, regions).assign()
+        for w in range(circuit.n_wires):
+            pin = circuit.wire(w).leftmost_pin
+            assert asg.owner[w] == regions.owner_of(pin.channel, pin.x)
+
+    def test_threshold_orders_locality(self, circuit, regions):
+        """Higher thresholds assign at least as many wires by locality."""
+        def local_count(tc):
+            asg = ThresholdCostAssigner(circuit, regions, tc).assign()
+            return sum(
+                asg.owner[w]
+                == regions.owner_of(
+                    circuit.wire(w).leftmost_pin.channel,
+                    circuit.wire(w).leftmost_pin.x,
+                )
+                for w in range(circuit.n_wires)
+            )
+
+        assert local_count(30) <= local_count(1000) <= local_count(math.inf)
+
+    def test_paper_thresholds_hit_intended_percentiles(self):
+        """TC=30 keeps roughly the short half local; TC=1000 all but the
+        work-dominant tail (the calibration DESIGN.md documents)."""
+        circuit = bnre_like()
+        regions = RegionMap(10, 341, 16)
+        assigner = ThresholdCostAssigner(circuit, regions, 30)
+        costs = [assigner.wire_cost(w) for w in range(circuit.n_wires)]
+        frac_below_30 = np.mean([c < 30 for c in costs])
+        frac_above_1000 = np.mean([c > 1000 for c in costs])
+        assert 0.30 < frac_below_30 < 0.65
+        assert 0.05 < frac_above_1000 < 0.30
+
+    def test_inf_threshold_imbalance_exceeds_balanced(self, circuit, regions):
+        inf_report = load_report(circuit, fully_local(circuit, regions).assign())
+        bal_report = load_report(
+            circuit, ThresholdCostAssigner(circuit, regions, 30).assign()
+        )
+        assert inf_report.imbalance > bal_report.imbalance
+
+    def test_nonpositive_threshold_rejected(self, circuit, regions):
+        with pytest.raises(AssignmentError):
+            ThresholdCostAssigner(circuit, regions, 0)
+
+    def test_method_names(self, circuit, regions):
+        assert ThresholdCostAssigner(circuit, regions, 30).method_name == "ThresholdCost=30"
+        assert fully_local(circuit, regions).method_name == "ThresholdCost=inf"
+
+    def test_region_map_mismatch_rejected(self, circuit):
+        wrong = RegionMap(12, 386, 16)
+        with pytest.raises(AssignmentError):
+            ThresholdCostAssigner(circuit, wrong, 30)
+
+
+class TestDistributedLoop:
+    def test_hands_out_in_order(self):
+        loop = DistributedLoop([3, 1, 2])
+        assert [loop.next_wire() for _ in range(4)] == [3, 1, 2, None]
+
+    def test_reset_rearms(self):
+        loop = DistributedLoop([0, 1])
+        loop.next_wire()
+        loop.next_wire()
+        loop.reset()
+        assert loop.next_wire() == 0
+        assert loop.grabs == 3
+
+    def test_remaining(self):
+        loop = DistributedLoop([0, 1, 2])
+        loop.next_wire()
+        assert loop.remaining == 2
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(AssignmentError):
+            DistributedLoop([1, 1])
+
+
+class TestLoadReport:
+    def test_report_fields(self, circuit, regions):
+        report = load_report(circuit, RoundRobinAssigner(circuit, regions).assign())
+        assert report.wires_per_proc.sum() == circuit.n_wires
+        assert report.imbalance >= 1.0
+        assert report.max_wires >= report.min_wires
+        assert "imbalance" in report.as_dict()

@@ -1,0 +1,106 @@
+"""Tests for the centroid assigner and divergence tracking."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.assign import CentroidAssigner, ThresholdCostAssigner
+from repro.circuits import Circuit, Pin, Wire, bnre_like, tiny_test_circuit
+from repro.grid import RegionMap
+from repro.parallel import run_message_passing
+from repro.updates import UpdateSchedule
+
+
+class TestCentroidAssigner:
+    def test_assigns_by_bbox_center(self):
+        # one wire spanning the full width: leftmost pin is in region 0's
+        # columns, but the centre falls in the middle of the grid.
+        circuit = Circuit("c", 4, 40, [Wire("w", [Pin(0, 0), Pin(39, 0)])])
+        regions = RegionMap(4, 40, 4)  # 2x2
+        centroid = CentroidAssigner(circuit, regions, math.inf).assign()
+        leftmost = ThresholdCostAssigner(circuit, regions, math.inf).assign()
+        assert leftmost.owner[0] == regions.owner_of(0, 0)
+        assert centroid.owner[0] == regions.owner_of(0, 19)
+
+    def test_method_name_tagged(self):
+        circuit = tiny_test_circuit()
+        regions = RegionMap(4, 40, 4)
+        assigner = CentroidAssigner(circuit, regions, 1000)
+        assert assigner.method_name.startswith("Centroid/")
+
+    def test_long_wires_still_balanced(self):
+        circuit = bnre_like(n_wires=120)
+        regions = RegionMap(10, 341, 16)
+        asg = CentroidAssigner(circuit, regions, 30).assign()
+        counts = asg.load_counts()
+        assert counts.sum() == 120
+        assert counts.max() <= counts.mean() * 3
+
+    def test_same_threshold_semantics_as_parent(self):
+        """Wires above the threshold are balanced identically."""
+        circuit = bnre_like(n_wires=120)
+        regions = RegionMap(10, 341, 16)
+        a = CentroidAssigner(circuit, regions, 30)
+        b = ThresholdCostAssigner(circuit, regions, 30)
+        for w in range(circuit.n_wires):
+            assert a.wire_cost(w) == b.wire_cost(w)
+
+    def test_improves_locality_over_leftmost(self):
+        from repro.route import locality_measure
+
+        circuit = bnre_like(n_wires=150)
+        regions = RegionMap(10, 341, 16)
+        schedule = UpdateSchedule.sender_initiated(2, 10)
+        hops = {}
+        for label, cls in (("left", ThresholdCostAssigner), ("cent", CentroidAssigner)):
+            asg = cls(circuit, regions, math.inf).assign()
+            result = run_message_passing(
+                circuit, schedule, assignment=asg, iterations=1
+            )
+            hops[label] = locality_measure(
+                regions, result.paths, result.wire_router
+            ).mean_hops
+        assert hops["cent"] < hops["left"]
+
+
+class TestDivergenceTracking:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return tiny_test_circuit(n_wires=30)
+
+    def test_divergence_meta_present_when_tracked(self, circuit):
+        result = run_message_passing(
+            circuit, UpdateSchedule(), n_procs=4, iterations=1, track_divergence=True
+        )
+        d = result.meta["divergence"]
+        assert d["mean_l1"] >= 0
+        assert d["max_l1"] >= d["mean_l1"] * 0  # well-formed
+        assert len(d["per_proc_mean_l1"]) == 4
+
+    def test_divergence_absent_by_default(self, circuit):
+        result = run_message_passing(circuit, UpdateSchedule(), n_procs=4, iterations=1)
+        assert "divergence" not in result.meta
+
+    def test_single_processor_never_diverges(self, circuit):
+        result = run_message_passing(
+            circuit, UpdateSchedule(), n_procs=1, iterations=2, track_divergence=True
+        )
+        assert result.meta["divergence"]["mean_l1"] == 0.0
+
+    def test_updates_reduce_divergence(self, circuit):
+        silent = run_message_passing(
+            circuit, UpdateSchedule(), n_procs=4, iterations=1, track_divergence=True
+        )
+        eager = run_message_passing(
+            circuit,
+            UpdateSchedule.sender_initiated(1, 1),
+            n_procs=4,
+            iterations=1,
+            track_divergence=True,
+        )
+        assert (
+            eager.meta["divergence"]["mean_l1"]
+            <= silent.meta["divergence"]["mean_l1"]
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic circuit generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    SyntheticCircuitConfig,
+    bnre_like,
+    compute_stats,
+    generate,
+    mdc_like,
+    span_histogram,
+    tiny_test_circuit,
+)
+from repro.errors import CircuitError
+
+
+class TestDeterminism:
+    def test_same_seed_same_circuit(self):
+        a, b = bnre_like(), bnre_like()
+        assert a.wires == b.wires
+
+    def test_different_seed_different_circuit(self):
+        assert bnre_like().wires != bnre_like(seed=1).wires
+
+    def test_wire_count_override(self):
+        assert bnre_like(n_wires=50).n_wires == 50
+
+
+class TestPaperDimensions:
+    def test_bnre_dimensions(self):
+        c = bnre_like()
+        assert (c.n_wires, c.n_channels, c.n_grids) == (420, 10, 341)
+
+    def test_mdc_dimensions(self):
+        c = mdc_like()
+        assert (c.n_wires, c.n_channels, c.n_grids) == (573, 12, 386)
+
+
+class TestNetlistShape:
+    """The statistical properties the reproduction depends on."""
+
+    @pytest.mark.parametrize("circuit", [bnre_like(), mdc_like()], ids=["bnrE", "MDC"])
+    def test_short_nets_dominate(self, circuit):
+        stats = compute_stats(circuit)
+        assert stats.median_x_span < 0.15 * circuit.n_grids
+
+    @pytest.mark.parametrize("circuit", [bnre_like(), mdc_like()], ids=["bnrE", "MDC"])
+    def test_long_tail_exists(self, circuit):
+        stats = compute_stats(circuit)
+        assert stats.max_x_span > 0.4 * circuit.n_grids
+        assert 0.03 < stats.long_wire_fraction < 0.35
+
+    @pytest.mark.parametrize("circuit", [bnre_like(), mdc_like()], ids=["bnrE", "MDC"])
+    def test_small_pin_counts(self, circuit):
+        stats = compute_stats(circuit)
+        assert 2.0 <= stats.mean_pins_per_wire <= 4.5
+        assert stats.two_pin_fraction > 0.35
+
+    def test_mdc_more_local_than_bnre(self):
+        # §5.3.3 orders the circuits by locality; the generators must too.
+        bnre, mdc = compute_stats(bnre_like()), compute_stats(mdc_like())
+        assert mdc.mean_x_span / 386 < bnre.mean_x_span / 341
+
+    def test_wires_sorted_by_descending_length(self):
+        c = bnre_like()
+        costs = [w.length_cost() for w in c.wires]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_span_histogram_covers_all_wires(self):
+        c = tiny_test_circuit()
+        counts, edges = span_histogram(c)
+        assert counts.sum() == c.n_wires
+        assert edges[0] == 0 and edges[-1] == c.n_grids
+
+
+class TestConfigValidation:
+    def base(self, **kw):
+        defaults = dict(name="x", n_wires=10, n_channels=4, n_grids=40, seed=1)
+        defaults.update(kw)
+        return SyntheticCircuitConfig(**defaults)
+
+    def test_valid_config_generates(self):
+        assert generate(self.base()).n_wires == 10
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_wires": 0},
+            {"n_channels": 1},
+            {"n_grids": 2},
+            {"local_fraction": 1.5},
+            {"pin_geometric_p": 0.0},
+            {"max_pins": 1},
+            {"global_min_span_frac": 0.9, "global_max_span_frac": 0.5},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kw):
+        with pytest.raises(CircuitError):
+            generate(self.base(**kw))
+
+    def test_all_pins_on_grid(self):
+        c = generate(self.base(n_wires=200))
+        for w in c.wires:
+            for p in w.pins:
+                assert 0 <= p.x < c.n_grids
+                assert 0 <= p.channel < c.n_channels

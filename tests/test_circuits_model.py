@@ -1,0 +1,110 @@
+"""Unit tests for the circuit data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Circuit, Pin, Wire
+from repro.errors import CircuitError
+
+
+class TestPin:
+    def test_ordering_by_x_then_channel(self):
+        assert Pin(1, 5) < Pin(2, 0)
+        assert Pin(2, 1) < Pin(2, 3)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(CircuitError):
+            Pin(-1, 0)
+        with pytest.raises(CircuitError):
+            Pin(0, -2)
+
+    def test_as_tuple(self):
+        assert Pin(7, 3).as_tuple() == (7, 3)
+
+    def test_pins_hashable_and_equal(self):
+        assert Pin(1, 2) == Pin(1, 2)
+        assert len({Pin(1, 2), Pin(1, 2), Pin(2, 1)}) == 2
+
+
+class TestWire:
+    def test_pins_sorted_on_construction(self):
+        wire = Wire("w", [Pin(9, 1), Pin(2, 0), Pin(5, 3)])
+        assert [p.x for p in wire.pins] == [2, 5, 9]
+
+    def test_requires_two_pins(self):
+        with pytest.raises(CircuitError):
+            Wire("w", [Pin(1, 1)])
+
+    def test_duplicate_pins_rejected(self):
+        with pytest.raises(CircuitError):
+            Wire("w", [Pin(1, 1), Pin(1, 1)])
+
+    def test_leftmost_pin(self):
+        wire = Wire("w", [Pin(9, 1), Pin(2, 0)])
+        assert wire.leftmost_pin == Pin(2, 0)
+
+    def test_spans(self):
+        wire = Wire("w", [Pin(2, 0), Pin(12, 3), Pin(7, 1)])
+        assert wire.x_span == 10
+        assert wire.channel_span == 3
+
+    def test_bounding_box(self):
+        wire = Wire("w", [Pin(2, 3), Pin(12, 1)])
+        assert wire.bounding_box == (1, 2, 3, 12)
+
+    def test_length_cost_is_chain_manhattan(self):
+        wire = Wire("w", [Pin(0, 0), Pin(5, 2), Pin(9, 0)])
+        # chain: (0,0)->(5,2): 5+2=7; (5,2)->(9,0): 4+2=6
+        assert wire.length_cost() == 13
+
+    def test_segments_are_consecutive_pairs(self):
+        wire = Wire("w", [Pin(0, 0), Pin(5, 2), Pin(9, 0)])
+        segs = list(wire.segments())
+        assert len(segs) == 2
+        assert segs[0] == (Pin(0, 0), Pin(5, 2))
+        assert segs[1] == (Pin(5, 2), Pin(9, 0))
+
+
+class TestCircuit:
+    def test_valid_circuit(self):
+        circuit = Circuit("c", 4, 20, [Wire("a", [Pin(0, 0), Pin(5, 1)])])
+        assert circuit.n_wires == 1
+        assert circuit.shape == (4, 20)
+
+    def test_rejects_off_grid_pins(self):
+        with pytest.raises(CircuitError):
+            Circuit("c", 4, 20, [Wire("a", [Pin(0, 0), Pin(25, 1)])])
+        with pytest.raises(CircuitError):
+            Circuit("c", 4, 20, [Wire("a", [Pin(0, 0), Pin(5, 4)])])
+
+    def test_rejects_duplicate_wire_names(self):
+        wires = [
+            Wire("a", [Pin(0, 0), Pin(5, 1)]),
+            Wire("a", [Pin(1, 0), Pin(6, 1)]),
+        ]
+        with pytest.raises(CircuitError):
+            Circuit("c", 4, 20, wires)
+
+    def test_rejects_degenerate_dimensions(self):
+        with pytest.raises(CircuitError):
+            Circuit("c", 0, 20)
+
+    def test_iteration_and_indexing(self):
+        wires = [Wire("a", [Pin(0, 0), Pin(5, 1)]), Wire("b", [Pin(1, 0), Pin(2, 1)])]
+        circuit = Circuit("c", 4, 20, wires)
+        assert list(circuit) == list(wires)
+        assert circuit.wire(1).name == "b"
+        assert len(circuit) == 2
+
+    def test_with_wires_replaces(self):
+        circuit = Circuit("c", 4, 20, [Wire("a", [Pin(0, 0), Pin(5, 1)])])
+        other = circuit.with_wires([Wire("z", [Pin(2, 2), Pin(3, 3)])])
+        assert other.n_wires == 1
+        assert other.wire(0).name == "z"
+        assert circuit.wire(0).name == "a"
+
+    def test_describe_mentions_size(self):
+        circuit = Circuit("c", 4, 20, [Wire("a", [Pin(0, 0), Pin(5, 1)])])
+        text = circuit.describe()
+        assert "4 channels" in text and "20 routing grids" in text

@@ -1,0 +1,168 @@
+"""Tests for the command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_mp_defaults(self):
+        args = build_parser().parse_args(["mp"])
+        assert args.procs == 16 and args.iterations == 3
+        assert args.send_loc is None
+
+
+class TestCircuitCommand:
+    def test_describe(self, capsys):
+        assert main(["circuit", "--name", "bnrE", "--wires", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "50 wires" in out
+
+    def test_stats(self, capsys):
+        assert main(["circuit", "--name", "MDC", "--wires", "40", "--stats"]) == 0
+        assert "mean_x_span" in capsys.readouterr().out
+
+    def test_save_and_reload(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        assert main(["circuit", "--wires", "30", "--save-json", str(path)]) == 0
+        assert path.exists()
+        assert main(["circuit", "--load", str(path)]) == 0
+
+    def test_save_text(self, tmp_path):
+        path = tmp_path / "c.txt"
+        assert main(["circuit", "--wires", "30", "--save-text", str(path)]) == 0
+        assert path.read_text().startswith("#")
+
+    def test_unknown_circuit_name(self):
+        with pytest.raises(SystemExit):
+            main(["circuit", "--name", "nope"])
+
+
+class TestRouteCommand:
+    def test_route_reports_quality(self, capsys):
+        assert main(["route", "--wires", "40", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit height" in out
+        assert "occupancy factor" in out
+
+
+class TestMpCommand:
+    def test_sender_initiated_run(self, capsys):
+        code = main(
+            ["mp", "--wires", "40", "--procs", "4", "--iterations", "2",
+             "--send-rmt", "2", "--send-loc", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLD=5 SRD=2" in out
+        assert "mbytes" in out
+
+    def test_blocking_receiver_run(self, capsys):
+        code = main(
+            ["mp", "--wires", "40", "--procs", "4", "--iterations", "2",
+             "--req-loc", "1", "--req-rmt", "3", "--blocking"]
+        )
+        assert code == 0
+        assert "blocking" in capsys.readouterr().out
+
+
+class TestSmCommand:
+    def test_line_size_sweep(self, capsys):
+        code = main(
+            ["sm", "--wires", "40", "--procs", "4", "--iterations", "2",
+             "--line-sizes", "4", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "line  4B" in out and "line  8B" in out
+
+
+class TestExperimentCommand:
+    def test_single_quick_experiment(self, capsys, tmp_path):
+        code = main(["experiment", "X4", "--quick", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "x4.json").exists()
+        assert "[X4]" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_mp_json(self, capsys):
+        import json
+
+        code = main(
+            ["mp", "--wires", "30", "--procs", "4", "--iterations", "1",
+             "--send-rmt", "2", "--send-loc", "5", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["paradigm"] == "message_passing"
+        assert data["n_wires"] == 30
+        assert "network" in data and len(data["nodes"]) == 4
+
+    def test_sm_json_with_protocol(self, capsys):
+        import json
+
+        code = main(
+            ["sm", "--wires", "30", "--procs", "4", "--iterations", "1",
+             "--protocol", "update", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["meta"]["protocol"] == "update"
+        assert "coherence" in data
+
+
+class TestDynamicCommand:
+    def test_dynamic_run(self, capsys):
+        code = main(["dynamic", "--wires", "30", "--procs", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamic (polled)" in out
+        assert "mean task wait" in out
+
+    def test_dynamic_interrupts(self, capsys):
+        code = main(["dynamic", "--wires", "30", "--procs", "4", "--interrupts"])
+        assert code == 0
+        assert "dynamic (interrupt)" in capsys.readouterr().out
+
+
+class TestPacketStructureOption:
+    def test_full_region_encoding(self, capsys):
+        code = main(
+            ["mp", "--wires", "30", "--procs", "4", "--iterations", "1",
+             "--send-rmt", "2", "--send-loc", "5",
+             "--packet-structure", "full-region"]
+        )
+        assert code == 0
+        assert "full-region" in capsys.readouterr().out
+
+
+class TestErrorBoundary:
+    def test_library_errors_become_clean_messages(self, capsys):
+        code = main(["mp", "--wires", "30", "--blocking"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_unknown_experiment_clean_error(self, capsys):
+        code = main(["experiment", "T99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_corrupt_circuit_file_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        code = main(["route", "--load", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

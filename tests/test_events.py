@@ -1,0 +1,147 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == ["a", "b"]
+
+    def test_ties_break_by_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("first"))
+        q.push(1.0, lambda: fired.append("second"))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == ["first", "second"]
+
+    def test_cancel_skips_event(self):
+        q = EventQueue()
+        fired = []
+        handle = q.push(1.0, lambda: fired.append("x"))
+        q.push(2.0, lambda: fired.append("y"))
+        q.cancel(handle)
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == ["y"]
+
+    def test_len_accounts_for_cancelled(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(handle)
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(handle)
+        assert q.peek_time() == 2.0
+
+    def test_scheduling_in_the_past_rejected(self):
+        q = EventQueue()
+        q.push(5.0, lambda: None)
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(4.0, lambda: None)
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.at(1.5, lambda: times.append(sim.now))
+        sim.at(3.0, lambda: times.append(sim.now))
+        final = sim.run()
+        assert times == [1.5, 3.0]
+        assert final == 3.0
+
+    def test_after_schedules_relative(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.after(2.0, lambda: seen.append(sim.now))
+
+        sim.at(1.0, first)
+        sim.run()
+        assert seen == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+    def test_events_can_spawn_events(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                sim.after(1.0, tick)
+
+        sim.at(0.0, tick)
+        sim.run()
+        assert count[0] == 5
+        assert sim.steps == 5
+
+    def test_until_bound_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(1.0, forever)
+
+        sim.at(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_steps=100)
+
+    def test_cancel_via_simulator(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.at(1.0, lambda: fired.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+
+class TestCancelEdgeCases:
+    def test_cancel_after_fire_is_noop(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.pop()
+        q.cancel(e)  # already fired: must not corrupt the live count
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert len(q) == 0
+
+    def test_double_cancel_counted_once(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 0
+        assert q.pop() is None

@@ -1,0 +1,112 @@
+"""Unit and property tests for bounding boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GridError
+from repro.grid import BBox
+
+coords = st.integers(min_value=0, max_value=30)
+
+
+@st.composite
+def bboxes(draw):
+    c1, c2 = sorted((draw(coords), draw(coords)))
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    return BBox(c1, x1, c2, x2)
+
+
+class TestBasics:
+    def test_dimensions(self):
+        box = BBox(1, 2, 3, 5)
+        assert (box.height, box.width, box.area) == (3, 4, 12)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GridError):
+            BBox(3, 0, 1, 0)
+        with pytest.raises(GridError):
+            BBox(0, 5, 0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GridError):
+            BBox(-1, 0, 0, 0)
+
+    def test_contains(self):
+        box = BBox(1, 2, 3, 5)
+        assert box.contains(2, 3)
+        assert not box.contains(0, 3)
+        assert not box.contains(2, 6)
+
+    def test_cells_enumeration(self):
+        box = BBox(0, 0, 1, 1)
+        assert list(box.cells()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_slices_and_extract(self):
+        arr = np.arange(20).reshape(4, 5)
+        box = BBox(1, 1, 2, 3)
+        assert np.array_equal(box.extract(arr), arr[1:3, 1:4])
+
+
+class TestSetOps:
+    def test_intersect_overlap(self):
+        a, b = BBox(0, 0, 4, 4), BBox(2, 3, 6, 8)
+        assert a.intersect(b) == BBox(2, 3, 4, 4)
+
+    def test_intersect_disjoint_is_none(self):
+        assert BBox(0, 0, 1, 1).intersect(BBox(3, 3, 4, 4)) is None
+
+    def test_union_covers_both(self):
+        a, b = BBox(0, 0, 1, 1), BBox(3, 4, 5, 6)
+        assert a.union(b) == BBox(0, 0, 5, 6)
+
+    @given(bboxes(), bboxes())
+    def test_union_contains_operands(self, a, b):
+        u = a.union(b)
+        for box in (a, b):
+            assert u.c_lo <= box.c_lo and u.x_lo <= box.x_lo
+            assert u.c_hi >= box.c_hi and u.x_hi >= box.x_hi
+
+    @given(bboxes(), bboxes())
+    def test_intersection_inside_operands(self, a, b):
+        inter = a.intersect(b)
+        if inter is not None:
+            assert a.contains(inter.c_lo, inter.x_lo)
+            assert b.contains(inter.c_hi, inter.x_hi)
+            assert inter.area <= min(a.area, b.area)
+
+    @given(bboxes())
+    def test_self_intersection_identity(self, a):
+        assert a.intersect(a) == a
+        assert a.union(a) == a
+
+
+class TestNonzeroScan:
+    def test_of_nonzero_none_when_clean(self):
+        assert BBox.of_nonzero(np.zeros((4, 6))) is None
+
+    def test_of_nonzero_tight(self):
+        arr = np.zeros((5, 7), dtype=int)
+        arr[1, 2] = 1
+        arr[3, 5] = -2
+        assert BBox.of_nonzero(arr) == BBox(1, 2, 3, 5)
+
+    def test_from_points(self):
+        pts = np.array([[1, 4], [3, 2], [2, 9]])
+        assert BBox.from_points(pts) == BBox(1, 2, 3, 9)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GridError):
+            BBox.from_points(np.empty((0, 2), dtype=int))
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_of_nonzero_matches_from_points(self, points):
+        arr = np.zeros((31, 31), dtype=int)
+        for c, x in points:
+            arr[c, x] = 1
+        box = BBox.of_nonzero(arr)
+        expected = BBox.from_points(np.array(points))
+        assert box == expected

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness (quick mode)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import (
+    EXPERIMENTS,
+    format_value,
+    load_result,
+    render_checks,
+    render_table,
+    run_all,
+    run_experiment,
+    save_result,
+)
+from repro.harness.reference import (
+    TABLE1_SENDER,
+    TABLE6_SCALING,
+    TEXT_RESULTS,
+    paper_row,
+)
+
+
+class TestReference:
+    def test_table1_has_all_twelve_rows(self):
+        assert len(TABLE1_SENDER) == 12
+        assert paper_row(TABLE1_SENDER, (2, 10))["mbytes"] == 0.140
+
+    def test_missing_row_is_none(self):
+        assert paper_row(TABLE1_SENDER, (3, 3)) is None
+
+    def test_table6_speedup_consistency(self):
+        """The paper's speedup claim (12 at 16 procs) matches its table."""
+        t2 = TABLE6_SCALING[2]["time_s"]
+        t16 = TABLE6_SCALING[16]["time_s"]
+        assert 2 * t2 / t16 == pytest.approx(11.7, abs=0.3)
+
+    def test_text_results_present(self):
+        assert TEXT_RESULTS["locality_bnre"] == 1.21
+        assert TEXT_RESULTS["sm_height_bnre"] == 131
+
+
+class TestRendering:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(0.1234) == "0.123"
+        assert format_value(1234.5) == "1234"
+        assert format_value(12) == "12"
+
+    def test_render_table_aligns(self):
+        text = render_table("t", ["a", "bb"], [{"a": 1, "bb": 2.5}])
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert all(line.startswith(("+", "|")) for line in lines[1:])
+
+    def test_render_checks(self):
+        text = render_checks({"good": True, "bad": False})
+        assert "[PASS] good" in text and "[FAIL] bad" in text
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENTS) == {
+            "T1", "T2", "T3", "T4", "T5", "T6",
+            "X1", "X2", "X3", "X4", "X5", "X6",
+            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "R1",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("T99")
+
+    def test_lowercase_id_accepted(self):
+        result = run_experiment("x4", quick=True)
+        assert result.exp_id == "X4"
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_quick_experiments_pass_shape_checks(exp_id):
+    """Every experiment's qualitative claims hold even at quick scale."""
+    result = run_experiment(exp_id, quick=True)
+    assert result.rows, "experiment produced no rows"
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"{exp_id} failed checks: {failing}"
+
+
+class TestRunner:
+    def test_save_and_load_round_trip(self, tmp_path):
+        result = run_experiment("X4", quick=True)
+        path = save_result(result, tmp_path)
+        assert path.exists()
+        loaded = load_result("X4", tmp_path)
+        assert loaded["exp_id"] == "X4"
+        assert loaded["passed"] == result.passed
+        json.loads(path.read_text())  # valid JSON
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_result("T1", tmp_path) is None
+
+    def test_run_all_subset(self, tmp_path, capsys):
+        results = run_all(["X4"], quick=True, out_dir=tmp_path)
+        assert len(results) == 1
+        out = capsys.readouterr().out
+        assert "[X4]" in out
+        assert (tmp_path / "x4.json").exists()

@@ -1,0 +1,57 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import run_experiment, save_result
+from repro.harness.report import _NOTES, main, render_markdown
+
+
+@pytest.fixture(scope="module")
+def results_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("results")
+    for exp_id in ("X4", "X6"):
+        save_result(run_experiment(exp_id, quick=True), directory)
+    return directory
+
+
+class TestRenderMarkdown:
+    def test_includes_saved_experiments(self, results_dir):
+        text = render_markdown(results_dir)
+        assert "## X4 —" in text
+        assert "## X6 —" in text
+
+    def test_lists_missing_experiments(self, results_dir):
+        text = render_markdown(results_dir)
+        assert "missing results for" in text
+        assert "T1" in text
+
+    def test_tables_are_markdown(self, results_dir):
+        text = render_markdown(results_dir)
+        assert "| circuit | mean_hops |" in text
+
+    def test_check_marks_rendered(self, results_dir):
+        text = render_markdown(results_dir)
+        assert "✅" in text
+
+    def test_every_note_keyed_to_known_experiment(self):
+        from repro.harness import EXPERIMENTS
+
+        assert set(_NOTES) <= set(EXPERIMENTS)
+
+    def test_all_experiments_have_notes(self):
+        from repro.harness import EXPERIMENTS
+
+        assert set(_NOTES) == set(EXPERIMENTS)
+
+
+class TestMain:
+    def test_writes_output_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "EXP.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert out.exists()
+        assert "# EXPERIMENTS" in out.read_text()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""Tests for the write-back-invalidate coherence simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CoherenceError
+from repro.memsim import AddressMap, ReferenceTrace, WriteBackInvalidate, simulate_trace
+
+
+def protocol(line_size=4, n_procs=4, n_channels=2, n_grids=16):
+    return WriteBackInvalidate(n_procs, AddressMap(n_channels, n_grids, line_size))
+
+
+def cells(*idx):
+    return np.array(idx, dtype=np.int64)
+
+
+class TestReads:
+    def test_cold_miss_fetches_line(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=False)
+        assert p.stats.cold_fetch_bytes == 8
+        assert p.stats.refetch_bytes == 0
+
+    def test_repeat_read_hits(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=False)
+        p.access(0, cells(0), is_write=False)
+        assert p.stats.cold_fetch_bytes == 4
+
+    def test_same_line_shared_by_two_readers(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=False)
+        p.access(1, cells(1), is_write=False)  # same 8B line
+        assert p.stats.cold_fetch_bytes == 16  # one cold miss each
+        assert p.stats.n_invalidation_events == 0
+
+    def test_burst_dedupes_within_line(self):
+        p = protocol(line_size=16)
+        p.access(0, cells(0, 1, 2, 3), is_write=False)
+        assert p.stats.cold_fetch_bytes == 16  # one line
+
+
+class TestWrites:
+    def test_first_write_is_word_write(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=False)
+        p.access(0, cells(0), is_write=True)
+        assert p.stats.word_write_bytes == 4
+
+    def test_second_write_by_owner_is_silent(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=True)
+        before = p.stats.total_bytes
+        p.access(0, cells(0), is_write=True)
+        assert p.stats.total_bytes == before
+
+    def test_write_miss_fetches_line(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=True)
+        assert p.stats.write_miss_fetch_bytes == 8
+        assert p.stats.word_write_bytes == 4
+
+    def test_write_invalidates_sharers(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=False)
+        p.access(1, cells(0), is_write=False)
+        p.access(2, cells(0), is_write=True)
+        assert p.stats.n_invalidation_events == 1
+        assert p.stats.n_copies_invalidated == 2
+
+    def test_invalidated_reader_refetches(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=False)  # cold
+        p.access(1, cells(0), is_write=True)  # invalidates proc 0
+        p.access(0, cells(0), is_write=False)  # refetch
+        assert p.stats.refetch_bytes == 8
+
+    def test_false_sharing_across_words(self):
+        """Writes to *different* words of one line still ping-pong it."""
+        p = protocol(line_size=8)  # words 0 and 1 share a line
+        p.access(0, cells(0), is_write=True)
+        p.access(1, cells(1), is_write=True)
+        p.access(0, cells(0), is_write=True)
+        # three word writes: every write found the line non-dirty-by-self
+        assert p.stats.word_write_bytes == 12
+
+    def test_no_false_sharing_with_word_lines(self):
+        p = protocol(line_size=4)
+        p.access(0, cells(0), is_write=True)
+        p.access(1, cells(1), is_write=True)
+        p.access(0, cells(0), is_write=True)
+        # the second write by proc 0 hits its still-dirty private line
+        assert p.stats.word_write_bytes == 8
+
+
+class TestDirtyTransfer:
+    def test_read_of_dirty_line_cleans_it(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=True)
+        p.access(1, cells(0), is_write=False)
+        assert p.line_state(0)["dirty_owner"] == -1
+        assert sorted(p.line_state(0)["sharers"]) == [0, 1]
+
+    def test_read_of_dirty_line_writes_it_back(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=True)
+        p.access(1, cells(0), is_write=False)
+        assert p.stats.writeback_bytes == 8
+
+    def test_write_of_dirty_line_writes_it_back(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=True)
+        p.access(1, cells(0), is_write=True)
+        assert p.stats.writeback_bytes == 8
+
+    def test_clean_transfer_has_no_writeback(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=False)
+        p.access(1, cells(0), is_write=False)
+        assert p.stats.writeback_bytes == 0
+
+    def test_write_takes_exclusive_ownership(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=False)
+        p.access(1, cells(0), is_write=True)
+        assert p.line_state(0)["sharers"] == [1]
+        assert p.line_state(0)["dirty_owner"] == 1
+
+
+class TestValidation:
+    def test_bad_proc_rejected(self):
+        p = protocol(n_procs=2)
+        with pytest.raises(CoherenceError):
+            p.access(2, cells(0), is_write=False)
+
+    def test_too_many_procs_rejected(self):
+        with pytest.raises(CoherenceError):
+            WriteBackInvalidate(64, AddressMap(2, 16, 4))
+
+    def test_empty_access_noop(self):
+        p = protocol()
+        p.access(0, np.empty(0, dtype=np.int64), is_write=True)
+        assert p.stats.total_bytes == 0
+
+
+class TestTraceReplay:
+    def test_simulate_trace_orders_by_time(self):
+        trace = ReferenceTrace()
+        # appended out of order; replay must apply write before second read
+        trace.add(3.0, 0, False, cells(0))
+        trace.add(2.0, 1, True, cells(0))
+        trace.add(1.0, 0, False, cells(0))
+        stats = simulate_trace(trace, 2, AddressMap(2, 16, 8))
+        assert stats.refetch_bytes == 8  # proc 0's read at t=3 refetches
+
+    def test_stats_reference_counts(self):
+        trace = ReferenceTrace()
+        trace.add(0.0, 0, False, cells(0, 1, 2))
+        trace.add(1.0, 0, True, cells(0))
+        stats = simulate_trace(trace, 2, AddressMap(2, 16, 4))
+        assert stats.n_read_refs == 3
+        assert stats.n_write_refs == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(0, 3),  # proc
+            st.integers(0, 31),  # word
+            st.booleans(),  # write?
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    line_size=st.sampled_from([4, 8, 16]),
+)
+def test_traffic_invariants(accesses, line_size):
+    """Protocol invariants over arbitrary access sequences."""
+    p = protocol(line_size=line_size, n_procs=4, n_channels=2, n_grids=16)
+    for proc, word, is_write in accesses:
+        p.access(proc, cells(word), is_write)
+    s = p.stats
+    # All byte counters non-negative and line-size aligned where applicable.
+    assert s.cold_fetch_bytes % line_size == 0
+    assert s.refetch_bytes % line_size == 0
+    assert s.write_miss_fetch_bytes % line_size == 0
+    assert s.word_write_bytes % 4 == 0
+    # Cold fetches can never exceed one line per (proc, line) pair.
+    assert s.cold_fetch_bytes <= 4 * 32 * line_size
+    assert s.writeback_bytes % line_size == 0
+    # Total is the sum of its parts.
+    assert s.total_bytes == (
+        s.cold_fetch_bytes
+        + s.refetch_bytes
+        + s.word_write_bytes
+        + s.write_miss_fetch_bytes
+        + s.writeback_bytes
+    )
+    # A line can only be flushed if someone wrote it first.
+    if s.writeback_bytes:
+        assert s.n_write_refs > 0

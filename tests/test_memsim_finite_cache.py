@@ -1,0 +1,113 @@
+"""Tests for the finite direct-mapped cache coherence model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CoherenceError
+from repro.memsim import (
+    AddressMap,
+    FiniteWriteBackInvalidate,
+    ReferenceTrace,
+    simulate_trace,
+    simulate_trace_finite,
+)
+
+
+def protocol(cache_lines=4, line_size=8, n_procs=2):
+    return FiniteWriteBackInvalidate(
+        n_procs, AddressMap(2, 16, line_size), cache_lines
+    )
+
+
+def cells(*idx):
+    return np.array(idx, dtype=np.int64)
+
+
+class TestCapacityBehaviour:
+    def test_conflict_eviction_and_refetch(self):
+        p = protocol(cache_lines=4, line_size=8)
+        p.access(0, cells(0), False)  # line 0 -> set 0
+        p.access(0, cells(8), False)  # line 4 -> set 0: evicts line 0
+        p.access(0, cells(0), False)  # conflict refetch
+        assert p.n_evictions == 2
+        assert p.stats.refetch_bytes == 8
+
+    def test_disjoint_sets_coexist(self):
+        p = protocol(cache_lines=4, line_size=8)
+        p.access(0, cells(0, 2, 4, 6), False)  # lines 0..3, one per set
+        before = p.stats.total_bytes
+        p.access(0, cells(0, 2, 4, 6), False)
+        assert p.stats.total_bytes == before
+        assert p.n_evictions == 0
+
+    def test_dirty_eviction_writes_back(self):
+        p = protocol(cache_lines=4, line_size=8)
+        p.access(0, cells(0), True)  # dirty line 0 in set 0
+        p.access(0, cells(8), False)  # evicts it
+        assert p.stats.writeback_bytes == 8
+
+    def test_bad_cache_size_rejected(self):
+        with pytest.raises(CoherenceError):
+            protocol(cache_lines=0)
+
+
+class TestCoherenceBehaviour:
+    def test_write_invalidates_other_copies(self):
+        p = protocol()
+        p.access(0, cells(0), False)
+        p.access(1, cells(0), True)
+        assert p.stats.n_copies_invalidated == 1
+        # proc 0 refetches after invalidation
+        p.access(0, cells(0), False)
+        assert p.stats.refetch_bytes == 8
+
+    def test_private_rewrite_is_silent(self):
+        p = protocol()
+        p.access(0, cells(0), True)
+        before = p.stats.total_bytes
+        p.access(0, cells(0), True)
+        assert p.stats.total_bytes == before
+
+    def test_dirty_supply_flushes(self):
+        p = protocol()
+        p.access(0, cells(0), True)
+        p.access(1, cells(0), False)
+        assert p.stats.writeback_bytes == 8
+
+
+class TestConvergenceToInfinite:
+    def test_huge_cache_matches_infinite_model(self):
+        """With more frames than lines, the finite model's data traffic
+        converges to the infinite-cache protocol's."""
+        rng = np.random.default_rng(3)
+        trace = ReferenceTrace()
+        for i in range(300):
+            trace.add(
+                float(i),
+                int(rng.integers(0, 4)),
+                bool(rng.integers(0, 2)),
+                rng.integers(0, 32, size=rng.integers(1, 6)),
+            )
+        amap = AddressMap(2, 16, 8)
+        finite = simulate_trace_finite(trace, 4, amap, cache_lines=1024)
+        infinite = simulate_trace(trace, 4, amap)
+        assert finite.cold_fetch_bytes == infinite.cold_fetch_bytes
+        assert finite.refetch_bytes == infinite.refetch_bytes
+        assert finite.word_write_bytes == infinite.word_write_bytes
+
+    def test_smaller_cache_never_cheaper(self):
+        rng = np.random.default_rng(5)
+        trace = ReferenceTrace()
+        for i in range(200):
+            trace.add(
+                float(i),
+                int(rng.integers(0, 4)),
+                bool(rng.integers(0, 2)),
+                rng.integers(0, 32, size=rng.integers(1, 8)),
+            )
+        amap = AddressMap(2, 16, 8)
+        small = simulate_trace_finite(trace, 4, amap, cache_lines=2)
+        big = simulate_trace_finite(trace, 4, amap, cache_lines=64)
+        assert small.total_bytes >= big.total_bytes

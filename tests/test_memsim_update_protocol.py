@@ -1,0 +1,103 @@
+"""Tests for the write-update coherence protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import tiny_test_circuit
+from repro.errors import CoherenceError, SimulationError
+from repro.memsim import AddressMap, ReferenceTrace, WriteUpdate, simulate_trace_write_update
+from repro.parallel import run_shared_memory
+
+
+def protocol(line_size=4, n_procs=4):
+    return WriteUpdate(n_procs, AddressMap(2, 16, line_size))
+
+
+def cells(*idx):
+    return np.array(idx, dtype=np.int64)
+
+
+class TestReads:
+    def test_cold_miss_then_hit(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0), is_write=False)
+        p.access(0, cells(0), is_write=False)
+        assert p.stats.cold_fetch_bytes == 8
+        assert p.stats.total_bytes == 8
+
+    def test_no_refetches_ever(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=False)
+        p.access(1, cells(0), is_write=True)
+        p.access(0, cells(0), is_write=False)  # still valid: updated, not invalidated
+        assert p.stats.refetch_bytes == 0
+        assert p.stats.cold_fetch_bytes == 4 + 0  # proc 0's original miss only
+
+
+class TestWrites:
+    def test_private_writes_are_silent(self):
+        p = protocol()
+        p.access(0, cells(0), is_write=True)  # write-allocate miss only
+        first = p.stats.total_bytes
+        p.access(0, cells(0), is_write=True)
+        assert p.stats.total_bytes == first
+        assert p.stats.word_write_bytes == 0
+
+    def test_shared_writes_broadcast_words(self):
+        p = protocol()
+        p.access(1, cells(0), is_write=False)
+        p.access(0, cells(0, 1), is_write=True)
+        # cell 0's line is shared with proc 1 -> one 4B broadcast;
+        # cell 1's line is private -> silent
+        assert p.stats.word_write_bytes == 4
+
+    def test_broadcast_counts_per_cell_not_per_line(self):
+        p = protocol(line_size=16)  # 4 words per line
+        p.access(1, cells(0), is_write=False)
+        p.access(0, cells(0, 1, 2, 3), is_write=True)
+        assert p.stats.word_write_bytes == 16  # four word broadcasts
+
+    def test_write_allocate_fetches_line_once(self):
+        p = protocol(line_size=8)
+        p.access(0, cells(0, 1), is_write=True)  # both cells in one line
+        assert p.stats.write_miss_fetch_bytes == 8
+
+
+class TestValidation:
+    def test_bad_proc(self):
+        with pytest.raises(CoherenceError):
+            protocol(n_procs=2).access(5, cells(0), is_write=False)
+
+    def test_empty_burst_noop(self):
+        p = protocol()
+        p.access(0, np.empty(0, dtype=np.int64), is_write=True)
+        assert p.stats.total_bytes == 0
+
+
+class TestTraceReplay:
+    def test_replay_matches_incremental(self):
+        trace = ReferenceTrace()
+        trace.add(0.0, 0, False, cells(0, 1))
+        trace.add(1.0, 1, True, cells(0))
+        stats = simulate_trace_write_update(trace, 2, AddressMap(2, 16, 4))
+        assert stats.word_write_bytes == 4
+        assert stats.cold_fetch_bytes == 8
+
+
+class TestSmIntegration:
+    def test_protocol_switch(self):
+        circuit = tiny_test_circuit(n_wires=25)
+        inv = run_shared_memory(circuit, n_procs=4, iterations=2)
+        upd = run_shared_memory(circuit, n_procs=4, iterations=2, protocol="update")
+        assert inv.meta["protocol"] == "invalidate"
+        assert upd.meta["protocol"] == "update"
+        # identical routing either way (the protocol only measures traffic)
+        assert inv.quality == upd.quality
+        assert upd.coherence.refetch_bytes == 0
+
+    def test_unknown_protocol_rejected(self):
+        circuit = tiny_test_circuit(n_wires=10)
+        with pytest.raises(SimulationError):
+            run_shared_memory(circuit, n_procs=2, protocol="mesi")

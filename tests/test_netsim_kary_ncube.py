@@ -1,0 +1,115 @@
+"""Tests for the general k-ary n-cube topology and link utilization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.events import Simulator
+from repro.netsim import KaryNCubeTopology, MeshTopology, Message, WormholeNetwork
+
+
+class TestCoordinates:
+    def test_round_trip(self):
+        topo = KaryNCubeTopology((3, 4, 2))
+        for node in range(topo.n_procs):
+            assert topo.node_at(topo.coords(node)) == node
+
+    def test_node_count(self):
+        assert KaryNCubeTopology((3, 4, 2)).n_procs == 24
+        assert KaryNCubeTopology((2, 2, 2, 2)).n_procs == 16
+
+    def test_bad_dims(self):
+        with pytest.raises(NetworkError):
+            KaryNCubeTopology(())
+        with pytest.raises(NetworkError):
+            KaryNCubeTopology((4, 0))
+
+    def test_coordinate_count_enforced(self):
+        topo = KaryNCubeTopology((2, 2))
+        with pytest.raises(NetworkError):
+            topo.node_at((1,))
+
+
+class TestHypercube:
+    """A binary n-cube is the k=2 special case the paper names."""
+
+    def test_distance_is_positional_mismatch(self):
+        cube = KaryNCubeTopology((2, 2, 2, 2))
+        # on a 2-ring every hop is 1 in whichever direction
+        assert cube.hop_distance(0, 15) == 4
+        assert cube.hop_distance(0, 1) == 1
+        assert cube.hop_distance(1, 0) == 1
+
+    def test_route_length_matches_distance(self):
+        cube = KaryNCubeTopology((2, 2, 2))
+        for src in range(8):
+            for dst in range(8):
+                assert len(cube.route(src, dst)) == cube.hop_distance(src, dst)
+
+
+class TestMeshEquivalence:
+    def test_matches_mesh_topology_routing(self):
+        """The (4, 4) cube is exactly the paper's 4x4 mesh."""
+        cube = KaryNCubeTopology((4, 4))
+        mesh = MeshTopology(16)
+        for src in range(16):
+            for dst in range(16):
+                assert cube.hop_distance(src, dst) == mesh.hop_distance(src, dst)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_routes_traverse_valid_links(self, src, dst):
+        cube = KaryNCubeTopology((4, 4))
+        links = cube.route(src, dst)
+        assert all(0 <= l < cube.n_links for l in links)
+        assert len(set([])) == 0  # placeholder for uniqueness check below
+        # dimension-order routes never revisit a link
+        assert len(links) == len(set(links))
+
+
+class TestWormholeOnCube:
+    def test_network_runs_on_hypercube(self):
+        sim = Simulator()
+        received = []
+        net = WormholeNetwork(sim, KaryNCubeTopology((2, 2, 2, 2)), received.append)
+        net.send(Message(0, 15, 64, None))
+        net.send(Message(3, 12, 64, None))
+        sim.run()
+        assert len(received) == 2
+        assert received[0].hops == 4
+
+    def test_degenerate_dimension_skipped(self):
+        topo = KaryNCubeTopology((1, 4))
+        assert topo.hop_distance(0, 3) == 3
+        assert len(topo.route(0, 3)) == 3
+
+
+class TestLinkUtilization:
+    def test_busy_fraction_bounded(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, MeshTopology(4), lambda d: None)
+        net.send(Message(0, 1, 100, None))
+        end = sim.run()
+        util = net.link_utilization(end)
+        assert util.shape == (8,)
+        assert 0.0 <= util.max() <= 1.0
+        assert util.sum() > 0
+
+    def test_requires_positive_elapsed(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, MeshTopology(4), lambda d: None)
+        with pytest.raises(NetworkError):
+            net.link_utilization(0.0)
+
+    def test_hot_link_shows_up(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, MeshTopology(4), lambda d: None)
+        for _ in range(10):
+            net.send(Message(0, 1, 200, None))
+        end = sim.run()
+        util = net.link_utilization(end)
+        hot = net.topology.link_id(0, MeshTopology.X_DIM)
+        assert util[hot] == util.max()
+        assert util[hot] > 0.5

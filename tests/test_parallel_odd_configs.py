@@ -1,0 +1,114 @@
+"""Integration tests for unusual processor counts and configurations.
+
+The paper only runs square-ish meshes (2, 4, 9, 16); these tests pin down
+that nothing in the stack assumes squareness, divisibility, or any
+particular processor count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import tiny_test_circuit
+from repro.grid import CostArray, RegionMap, proc_grid_shape
+from repro.parallel import CostModel, run_message_passing, run_shared_memory
+from repro.updates import UpdateSchedule
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    # 4 channels x 40 grids: forces uneven channel bands for 3+ proc rows
+    return tiny_test_circuit(n_wires=30)
+
+
+class TestOddProcessorCounts:
+    @pytest.mark.parametrize("n_procs", [3, 5, 6, 8])
+    def test_mp_runs_on_non_square_meshes(self, circuit, n_procs):
+        result = run_message_passing(
+            circuit,
+            UpdateSchedule.sender_initiated(2, 3),
+            n_procs=n_procs,
+            iterations=2,
+        )
+        assert set(result.paths) == set(range(circuit.n_wires))
+        reference = CostArray(circuit.n_channels, circuit.n_grids)
+        for path in result.paths.values():
+            reference.apply_path(path.flat_cells)
+        assert reference == result.truth
+
+    @pytest.mark.parametrize("n_procs", [3, 6])
+    def test_sm_runs_on_non_square_meshes(self, circuit, n_procs):
+        result = run_shared_memory(circuit, n_procs=n_procs, iterations=2)
+        assert set(result.paths) == set(range(circuit.n_wires))
+
+    def test_prime_count_degenerates_to_row(self, circuit):
+        # 5 processors -> 1x5 mesh: only the x dimension exists
+        shape = proc_grid_shape(5)
+        assert shape == (1, 5)
+        regions = RegionMap(circuit.n_channels, circuit.n_grids, 5)
+        assert regions.p_rows == 1
+
+    def test_uneven_channel_bands_partition(self):
+        # 4 channels over 3 proc rows: bands of 2/1/1
+        regions = RegionMap(4, 40, 3, shape=(3, 1))
+        heights = [regions.region(p).height for p in range(3)]
+        assert sorted(heights, reverse=True) == [2, 1, 1]
+        assert sum(heights) == 4
+
+
+class TestMoreProcsThanWork:
+    def test_more_procs_than_wires(self):
+        tiny = tiny_test_circuit(n_wires=4)
+        result = run_message_passing(
+            tiny, UpdateSchedule.sender_initiated(1, 1), n_procs=8, iterations=2
+        )
+        assert set(result.paths) == set(range(4))
+        # idle processors simply never route
+        assert sum(s.wires_routed for s in result.node_summaries) == 8
+
+    def test_sm_more_procs_than_wires(self):
+        tiny = tiny_test_circuit(n_wires=4)
+        result = run_shared_memory(tiny, n_procs=8, iterations=2)
+        assert set(result.paths) == set(range(4))
+
+
+class TestNumaQualityInvariance:
+    def test_numa_changes_time_not_routing(self, circuit):
+        """The hierarchical memory model only scales time: the routed
+        solution must be identical to the flat-machine run."""
+        # NUMA scaling changes each wire's duration and therefore the
+        # interleaving of the dynamic loop, so paths may differ — but with
+        # a *static* assignment the wire->proc mapping and per-proc order
+        # are fixed, and only timing shifts.
+        from repro.assign import RoundRobinAssigner
+        from repro.grid import RegionMap as RM
+
+        regions = RM(circuit.n_channels, circuit.n_grids, 4)
+        asg = RoundRobinAssigner(circuit, regions).assign()
+        flat = run_shared_memory(
+            circuit, n_procs=4, iterations=2, assignment=asg, collect_trace=False
+        )
+        numa = run_shared_memory(
+            circuit,
+            n_procs=4,
+            iterations=2,
+            assignment=asg,
+            collect_trace=False,
+            cost_model=CostModel(numa_remote_factor=10.0),
+        )
+        assert numa.exec_time_s > flat.exec_time_s
+        assert set(numa.paths) == set(flat.paths)
+
+
+class TestInterruptsPreserveAccounting:
+    def test_message_counters_consistent_under_interrupts(self, circuit):
+        from dataclasses import replace
+
+        schedule = replace(
+            UpdateSchedule.receiver_initiated(1, 2, blocking=True),
+            interrupt_reception=True,
+        )
+        result = run_message_passing(circuit, schedule, n_procs=4, iterations=2)
+        sent = sum(s.messages_sent for s in result.node_summaries)
+        received = sum(s.messages_received for s in result.node_summaries)
+        assert sent == received == result.network.n_messages

@@ -1,0 +1,95 @@
+"""Tests for result records, the cost model, and work accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import CostModel, DEFAULT_COST_MODEL
+from repro.parallel.results import NodeSummary
+from repro.route.workmodel import (
+    COMMIT_CELL_UNITS,
+    INCORPORATE_CELL_UNITS,
+    SCAN_CELL_UNITS,
+    WorkCounter,
+)
+
+
+class TestWorkCounter:
+    def test_categories_accumulate(self):
+        counter = WorkCounter()
+        counter.add_route(100)
+        counter.add_commit(10)
+        counter.add_scan(50)
+        counter.add_marshal(20)
+        counter.add_incorporate(30)
+        assert counter.route_units == 100
+        assert counter.commit_units == COMMIT_CELL_UNITS * 10
+        assert counter.assemble_units == pytest.approx(
+            SCAN_CELL_UNITS * 50 + INCORPORATE_CELL_UNITS * 20
+        )
+        assert counter.incorporate_units == INCORPORATE_CELL_UNITS * 30
+
+    def test_total(self):
+        counter = WorkCounter()
+        counter.add_route(10)
+        counter.add_commit(5)
+        assert counter.total_units == 10 + COMMIT_CELL_UNITS * 5
+
+    def test_overhead_fraction(self):
+        counter = WorkCounter()
+        assert counter.message_overhead_fraction == 0.0
+        counter.add_route(75)
+        counter.add_marshal(25)
+        assert counter.message_overhead_fraction == pytest.approx(0.25)
+
+
+class TestCostModel:
+    def test_work_time_linear(self):
+        model = CostModel(time_per_unit_s=2e-6)
+        assert model.work_time(1000) == pytest.approx(2e-3)
+
+    def test_counter_time(self):
+        model = CostModel(time_per_unit_s=1e-6)
+        counter = WorkCounter()
+        counter.add_route(500)
+        assert model.counter_time(counter) == pytest.approx(5e-4)
+
+    def test_default_uses_paper_network_constants(self):
+        assert DEFAULT_COST_MODEL.hop_time_s == pytest.approx(100e-9)
+        assert DEFAULT_COST_MODEL.process_time_s == pytest.approx(2000e-9)
+        assert DEFAULT_COST_MODEL.sm_slowdown == 5.0
+        assert DEFAULT_COST_MODEL.numa_remote_factor == 1.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.sm_slowdown = 2.0
+
+
+class TestNodeSummary:
+    def make(self, **kw):
+        base = dict(
+            proc=0,
+            wires_routed=10,
+            finish_time_s=1.0,
+            route_units=100.0,
+            commit_units=20.0,
+            assemble_units=30.0,
+            incorporate_units=10.0,
+            messages_sent=5,
+            messages_received=6,
+            blocked_time_s=0.0,
+        )
+        base.update(kw)
+        return NodeSummary(**base)
+
+    def test_total_units(self):
+        assert self.make().total_units == 160.0
+
+    def test_overhead_fraction(self):
+        assert self.make().message_overhead_fraction == pytest.approx(40 / 160)
+
+    def test_zero_work_no_division_error(self):
+        summary = self.make(
+            route_units=0.0, commit_units=0.0, assemble_units=0.0, incorporate_units=0.0
+        )
+        assert summary.message_overhead_fraction == 0.0

@@ -1,0 +1,141 @@
+"""Integration tests for the shared memory LocusRoute simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assign import RoundRobinAssigner, ThresholdCostAssigner
+from repro.circuits import tiny_test_circuit
+from repro.errors import SimulationError
+from repro.grid import CostArray, RegionMap
+from repro.parallel import run_shared_memory
+from repro.route import SequentialRouter
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return tiny_test_circuit(n_wires=30)
+
+
+class TestCompleteness:
+    def test_every_wire_routed(self, circuit):
+        result = run_shared_memory(circuit, n_procs=4, iterations=2)
+        assert set(result.paths) == set(range(circuit.n_wires))
+
+    def test_truth_is_sum_of_paths(self, circuit):
+        result = run_shared_memory(circuit, n_procs=4, iterations=2)
+        reference = CostArray(circuit.n_channels, circuit.n_grids)
+        for path in result.paths.values():
+            reference.apply_path(path.flat_cells)
+        assert reference == result.truth
+
+    def test_wires_routed_counts(self, circuit):
+        result = run_shared_memory(circuit, n_procs=4, iterations=3)
+        assert sum(s.wires_routed for s in result.node_summaries) == 3 * circuit.n_wires
+
+    def test_deterministic(self, circuit):
+        a = run_shared_memory(circuit, n_procs=4, iterations=2)
+        b = run_shared_memory(circuit, n_procs=4, iterations=2)
+        assert a.quality == b.quality
+        assert a.coherence.total_bytes == b.coherence.total_bytes
+        assert a.exec_time_s == b.exec_time_s
+
+
+class TestSingleProcessorEquivalence:
+    def test_one_proc_matches_sequential_router(self, circuit):
+        """With one processor and the dynamic loop the SM simulation is
+        exactly the sequential algorithm (same wire order, no staleness)."""
+        sm = run_shared_memory(circuit, n_procs=1, iterations=3, collect_trace=False)
+        seq = SequentialRouter(circuit, iterations=3).run()
+        assert sm.quality.circuit_height == seq.quality.circuit_height
+        assert sm.quality.occupancy_factor == seq.quality.occupancy_factor
+        assert all(sm.paths[w] == seq.paths[w] for w in seq.paths)
+
+
+class TestStaleness:
+    def test_more_processors_do_not_improve_final_congestion(self):
+        """Staleness can only add wire overlap in the final solution.
+
+        (The paper's *occupancy factor* is priced at commit time, which
+        under-counts concurrently in-flight wires, so on small circuits it
+        can move either way; the pairwise overlap of the final cost array
+        is the bias-free congestion measure.)
+        """
+        import numpy as np
+
+        dense = tiny_test_circuit(n_wires=90)
+
+        def overlap(n_procs):
+            r = run_shared_memory(dense, n_procs=n_procs, iterations=3, collect_trace=False)
+            occ = r.truth.data.astype(np.int64)
+            return int((occ * (occ - 1) // 2).sum())
+
+        assert overlap(8) >= overlap(1)
+
+    def test_parallel_run_is_faster(self, circuit):
+        one = run_shared_memory(circuit, n_procs=1, iterations=2, collect_trace=False)
+        four = run_shared_memory(circuit, n_procs=4, iterations=2, collect_trace=False)
+        assert four.exec_time_s < one.exec_time_s
+
+
+class TestCoherenceIntegration:
+    def test_line_size_sweep_in_meta(self, circuit):
+        result = run_shared_memory(
+            circuit, n_procs=4, iterations=2, line_size=8, extra_line_sizes=(4, 16)
+        )
+        by_line = result.meta["coherence_by_line_size"]
+        assert set(by_line) == {4, 8, 16}
+        assert result.coherence.line_size == 8
+        assert result.mbytes_transferred == by_line[8]["mbytes"]
+
+    def test_collect_trace_false_skips_coherence(self, circuit):
+        result = run_shared_memory(circuit, n_procs=4, iterations=2, collect_trace=False)
+        assert result.coherence is None
+        assert result.mbytes_transferred == 0.0
+
+    def test_trace_counts_reported(self, circuit):
+        result = run_shared_memory(circuit, n_procs=4, iterations=2)
+        assert result.meta["trace_records"] > 0
+        assert result.meta["trace_references"] > result.meta["trace_records"]
+
+    def test_more_chunks_more_references(self, circuit):
+        small = run_shared_memory(circuit, n_procs=4, iterations=2, trace_chunks=2)
+        big = run_shared_memory(circuit, n_procs=4, iterations=2, trace_chunks=6)
+        assert big.meta["trace_references"] > small.meta["trace_references"]
+
+
+class TestStaticAssignment:
+    def test_static_assignment_routes_everything(self, circuit):
+        regions = RegionMap(circuit.n_channels, circuit.n_grids, 4)
+        asg = RoundRobinAssigner(circuit, regions).assign()
+        result = run_shared_memory(circuit, n_procs=4, iterations=3, assignment=asg)
+        assert sum(s.wires_routed for s in result.node_summaries) == 3 * circuit.n_wires
+        assert result.meta["assignment"] == "round robin"
+
+    def test_static_wire_router_matches_assignment(self, circuit):
+        regions = RegionMap(circuit.n_channels, circuit.n_grids, 4)
+        asg = ThresholdCostAssigner(circuit, regions, 30).assign()
+        result = run_shared_memory(circuit, n_procs=4, iterations=2, assignment=asg)
+        assert list(result.wire_router) == list(asg.owner)
+
+    def test_assignment_mismatch_rejected(self, circuit):
+        regions = RegionMap(circuit.n_channels, circuit.n_grids, 8)
+        wrong = RoundRobinAssigner(circuit, regions).assign()
+        with pytest.raises(SimulationError):
+            run_shared_memory(circuit, n_procs=4, assignment=wrong)
+
+
+class TestTimeScale:
+    def test_sm_time_uses_multimax_slowdown(self, circuit):
+        """SM times are in Multimax seconds: ~5x the same work on the
+        simulated Ametek nodes (paper §2.1 footnote)."""
+        from repro.parallel import run_message_passing
+        from repro.updates import UpdateSchedule
+
+        # One processor on each side removes load-imbalance noise: the
+        # ratio is then the pure processor-speed factor (plus the SM
+        # loop-grab overhead).
+        sm = run_shared_memory(circuit, n_procs=1, iterations=2, collect_trace=False)
+        mp = run_message_passing(circuit, UpdateSchedule(), n_procs=1, iterations=2)
+        ratio = sm.exec_time_s / mp.exec_time_s
+        assert 4.5 < ratio < 6.0

@@ -1,0 +1,134 @@
+"""System-level property tests (hypothesis) over randomly generated circuits.
+
+These generate small random circuits and check the invariants that must
+hold for *any* input, not just the calibrated benchmarks: pin coverage,
+cost-array conservation, FIFO message ordering, and quality-metric
+consistency across the engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, Pin, Wire
+from repro.events import Simulator
+from repro.grid import CostArray
+from repro.netsim import MeshTopology, Message, WormholeNetwork
+from repro.parallel import run_message_passing
+from repro.route import SequentialRouter, circuit_height
+from repro.updates import UpdateSchedule
+
+N_CHANNELS, N_GRIDS = 4, 24
+
+
+@st.composite
+def circuits(draw):
+    n_wires = draw(st.integers(2, 8))
+    wires = []
+    for i in range(n_wires):
+        n_pins = draw(st.integers(2, 4))
+        pins = set()
+        while len(pins) < n_pins:
+            pins.add(
+                Pin(
+                    draw(st.integers(0, N_GRIDS - 1)),
+                    draw(st.integers(0, N_CHANNELS - 1)),
+                )
+            )
+        wires.append(Wire(f"w{i}", pins))
+    return Circuit("prop", N_CHANNELS, N_GRIDS, wires)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow, HealthCheck.large_base_example, HealthCheck.data_too_large])
+@given(circuit=circuits(), iterations=st.integers(1, 3))
+def test_sequential_router_invariants(circuit, iterations):
+    """Pin coverage, conservation, and metric consistency for any circuit."""
+    result = SequentialRouter(circuit, iterations=iterations).run()
+    # every wire routed, every pin covered
+    assert set(result.paths) == set(range(circuit.n_wires))
+    for w, path in result.paths.items():
+        cells = set(path.flat_cells.tolist())
+        for pin in circuit.wire(w).pins:
+            assert pin.channel * circuit.n_grids + pin.x in cells
+    # cost array is exactly the union of the final paths
+    reference = CostArray(circuit.n_channels, circuit.n_grids)
+    for path in result.paths.values():
+        reference.apply_path(path.flat_cells)
+    assert reference == result.cost
+    # quality metrics consistent with the array
+    assert result.quality.circuit_height == circuit_height(result.cost)
+    assert result.quality.total_wire_cells == result.cost.total_occupancy()
+    # height can never exceed total wires per channel summed
+    assert result.quality.circuit_height <= circuit.n_wires * circuit.n_channels
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow, HealthCheck.large_base_example, HealthCheck.data_too_large])
+@given(circuit=circuits())
+def test_message_passing_invariants(circuit):
+    """The MP simulation preserves the same invariants under staleness."""
+    result = run_message_passing(
+        circuit, UpdateSchedule.sender_initiated(1, 2), n_procs=4, iterations=2
+    )
+    assert set(result.paths) == set(range(circuit.n_wires))
+    reference = CostArray(circuit.n_channels, circuit.n_grids)
+    for path in result.paths.values():
+        reference.apply_path(path.flat_cells)
+    assert reference == result.truth
+    assert result.exec_time_s > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15), st.integers(1, 200)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_network_pairwise_fifo(pairs):
+    """Messages between one (src, dst) pair arrive in injection order."""
+    sim = Simulator()
+    deliveries = []
+    net = WormholeNetwork(sim, MeshTopology(16), deliveries.append)
+    sent = []
+    for i, (src, dst, length) in enumerate(pairs):
+        if src == dst:
+            continue
+        sent.append(i)
+        sim.at(i * 1e-6, lambda s=src, d=dst, l=length, i=i: net.send(Message(s, d, l, i)))
+    sim.run()
+    assert len(deliveries) == len(sent)
+    by_pair = {}
+    for d in deliveries:
+        key = (d.message.src, d.message.dst)
+        by_pair.setdefault(key, []).append((d.arrive_time, d.message.payload))
+    for key, items in by_pair.items():
+        payload_order = [p for _, p in sorted(items, key=lambda t: t[0])]
+        assert payload_order == sorted(payload_order), f"reorder on {key}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 23)), min_size=1, max_size=40
+    )
+)
+def test_cost_array_region_ops_roundtrip(entries):
+    """extract/replace over any dirty pattern restores the array exactly."""
+    from repro.grid import BBox
+
+    cost = CostArray(N_CHANNELS, N_GRIDS)
+    flat = np.unique(
+        np.array([c * N_GRIDS + x for c, x in entries], dtype=np.int64)
+    )
+    cost.apply_path(flat)
+    box = BBox(0, 0, N_CHANNELS - 1, N_GRIDS - 1)
+    snapshot = cost.extract(box)
+    cost.apply_path(flat)  # dirty it further
+    cost.replace(box, snapshot)
+    reference = CostArray(N_CHANNELS, N_GRIDS)
+    reference.apply_path(flat)
+    assert cost == reference

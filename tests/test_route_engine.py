@@ -1,0 +1,91 @@
+"""Tests for the sequential rip-up-and-reroute engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Pin, Wire, tiny_test_circuit
+from repro.errors import RoutingError
+from repro.grid import CostArray
+from repro.route import SequentialRouter, circuit_height
+
+
+class TestBasicRuns:
+    def test_routes_every_wire(self, tiny_circuit):
+        result = SequentialRouter(tiny_circuit, iterations=2).run()
+        assert set(result.paths) == set(range(tiny_circuit.n_wires))
+
+    def test_cost_array_is_sum_of_paths(self, tiny_circuit):
+        result = SequentialRouter(tiny_circuit, iterations=2).run()
+        reference = CostArray(tiny_circuit.n_channels, tiny_circuit.n_grids)
+        for path in result.paths.values():
+            reference.apply_path(path.flat_cells)
+        assert reference == result.cost
+
+    def test_quality_fields_consistent(self, tiny_circuit):
+        result = SequentialRouter(tiny_circuit, iterations=2).run()
+        assert result.quality.circuit_height == circuit_height(result.cost)
+        assert result.quality.total_wire_cells == result.cost.total_occupancy()
+        assert result.quality.occupancy_factor > 0
+
+    def test_deterministic(self, tiny_circuit):
+        a = SequentialRouter(tiny_circuit, iterations=2).run()
+        b = SequentialRouter(tiny_circuit, iterations=2).run()
+        assert a.quality == b.quality
+        assert all(a.paths[w] == b.paths[w] for w in a.paths)
+
+
+class TestIterations:
+    def test_iterations_do_not_hurt_height(self, tiny_circuit):
+        result = SequentialRouter(tiny_circuit, iterations=4).run()
+        heights = result.per_iteration_height
+        assert len(heights) == 4
+        assert heights[-1] <= heights[0]
+
+    def test_single_iteration_allowed(self, tiny_circuit):
+        result = SequentialRouter(tiny_circuit, iterations=1).run()
+        assert len(result.per_iteration_height) == 1
+
+    def test_zero_iterations_rejected(self, tiny_circuit):
+        with pytest.raises(RoutingError):
+            SequentialRouter(tiny_circuit, iterations=0)
+
+
+class TestWireOrder:
+    def test_custom_order_accepted(self, tiny_circuit):
+        order = list(reversed(range(tiny_circuit.n_wires)))
+        result = SequentialRouter(tiny_circuit, iterations=2).run(wire_order=order)
+        assert set(result.paths) == set(range(tiny_circuit.n_wires))
+
+    def test_non_permutation_rejected(self, tiny_circuit):
+        with pytest.raises(RoutingError):
+            SequentialRouter(tiny_circuit).run(wire_order=[0, 0, 1])
+
+    def test_order_changes_solution_not_validity(self, tiny_circuit):
+        forward = SequentialRouter(tiny_circuit, iterations=1).run()
+        backward = SequentialRouter(tiny_circuit, iterations=1).run(
+            wire_order=list(reversed(range(tiny_circuit.n_wires)))
+        )
+        # Different orders may pick different bends (and multi-pin unions
+        # of different sizes), but both must be complete, and total
+        # occupancy can only differ by the multi-pin overlap slack.
+        assert set(backward.paths) == set(forward.paths)
+        assert (
+            abs(forward.cost.total_occupancy() - backward.cost.total_occupancy())
+            < 0.1 * forward.cost.total_occupancy()
+        )
+
+
+class TestCongestionAvoidance:
+    def test_router_spreads_parallel_wires(self):
+        """Identical wires stacked on one channel should spread vertically."""
+        wires = [
+            Wire(f"w{i}", [Pin(0, 1), Pin(19, 1)]) for i in range(3)
+        ]
+        circuit = Circuit("stack", 4, 20, wires)
+        result = SequentialRouter(circuit, iterations=3).run()
+        # With rip-up and reroute, tracks should spread below the naive
+        # all-on-one-channel worst case.
+        assert result.quality.circuit_height <= 3 * len(wires)
+        assert result.cost.channel_maxima().max() <= len(wires)

@@ -1,0 +1,89 @@
+"""Tests for the quality metrics and the locality measure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AssignmentError
+from repro.grid import CostArray, RegionMap
+from repro.route import (
+    QualityReport,
+    RoutePath,
+    circuit_height,
+    locality_measure,
+    track_profile,
+)
+
+
+class TestCircuitHeight:
+    def test_empty_array_zero_height(self):
+        assert circuit_height(CostArray(4, 20)) == 0
+
+    def test_height_sums_channel_maxima(self):
+        cost = CostArray(3, 10)
+        cost.data[0, 3] = 4
+        cost.data[2, 7] = 2
+        assert circuit_height(cost) == 6
+        assert list(track_profile(cost)) == [4, 0, 2]
+
+    def test_height_uses_max_not_sum(self):
+        cost = CostArray(1, 10)
+        cost.data[0, :] = 1
+        assert circuit_height(cost) == 1
+
+
+class TestQualityReport:
+    def test_as_dict_and_str(self):
+        report = QualityReport(10, 200, 50)
+        data = report.as_dict()
+        assert data["circuit_height"] == 10
+        assert "height=10" in str(report)
+
+
+def _path(cells, n_grids):
+    return RoutePath.from_cells(np.array(cells, dtype=np.int64), n_grids)
+
+
+class TestLocalityMeasure:
+    def test_perfect_locality(self):
+        regions = RegionMap(4, 40, 4)  # 2x2 mesh
+        box = regions.region(0)
+        cells = [box.c_lo * 40 + box.x_lo, box.c_lo * 40 + box.x_lo + 1]
+        report = locality_measure(regions, {0: _path(cells, 40)}, [0])
+        assert report.mean_hops == 0.0
+        assert report.owned_fraction == 1.0
+
+    def test_remote_routing_counts_hops(self):
+        regions = RegionMap(4, 40, 4)
+        # processor 0 routes cells owned by processor 3 (diagonal: 2 hops)
+        box = regions.region(3)
+        cells = [box.c_lo * 40 + box.x_lo]
+        report = locality_measure(regions, {0: _path(cells, 40)}, [0])
+        assert report.mean_hops == 2.0
+        assert report.owned_fraction == 0.0
+
+    def test_cell_weighting(self):
+        regions = RegionMap(4, 40, 4)
+        own = regions.region(0)
+        remote = regions.region(1)  # one hop away
+        cells = [own.c_lo * 40 + own.x_lo] * 1 + [
+            remote.c_lo * 40 + remote.x_lo,
+            remote.c_lo * 40 + remote.x_lo + 1,
+            remote.c_lo * 40 + remote.x_lo + 2,
+        ]
+        report = locality_measure(regions, {0: _path(cells, 40)}, [0])
+        assert report.mean_hops == pytest.approx(3 / 4)
+
+    def test_per_proc_breakdown(self):
+        regions = RegionMap(4, 40, 4)
+        p0 = _path([regions.region(0).c_lo * 40 + regions.region(0).x_lo], 40)
+        p1 = _path([regions.region(0).c_lo * 40 + regions.region(0).x_lo], 40)
+        report = locality_measure(regions, {0: p0, 1: p1}, [0, 1])
+        assert report.per_proc_hops[0] == 0.0
+        assert report.per_proc_hops[1] > 0.0
+
+    def test_empty_paths_rejected(self):
+        regions = RegionMap(4, 40, 4)
+        with pytest.raises(AssignmentError):
+            locality_measure(regions, {}, [])

@@ -1,0 +1,170 @@
+"""Unit and property tests for the two-bend route evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Pin, Wire
+from repro.errors import RoutingError
+from repro.grid import CostArray
+from repro.route import route_segment, route_wire, segment_cells
+from repro.route.twobend import MAX_CANDIDATES
+
+
+def brute_force_best(cost: CostArray, a: Pin, b: Pin):
+    """Enumerate every candidate column and path cost the slow way."""
+    best = None
+    for xv in range(a.x, b.x + 1):
+        cells = segment_cells(a, b, xv, cost.n_grids)
+        total = int(cost.data.reshape(-1)[cells].sum())
+        if best is None or total < best[1]:
+            best = (xv, total)
+    return best
+
+
+class TestStraightSegments:
+    def test_same_channel_routes_straight(self, empty_cost):
+        seg = route_segment(empty_cost, Pin(3, 1), Pin(9, 1))
+        assert seg.xv == 3
+        assert seg.cost == 0
+        cells = segment_cells(Pin(3, 1), Pin(9, 1), seg.xv, 40)
+        assert len(cells) == 7
+
+    def test_cost_counts_occupancy(self, empty_cost):
+        empty_cost.data[1, 4:7] = 2
+        seg = route_segment(empty_cost, Pin(3, 1), Pin(9, 1))
+        assert seg.cost == 6
+
+
+class TestBendChoice:
+    def test_prefers_cheap_column(self, empty_cost):
+        # Make every column expensive except column 7.
+        empty_cost.data[1:3, :] = 5
+        empty_cost.data[1:3, 7] = 0
+        seg = route_segment(empty_cost, Pin(2, 0), Pin(12, 3))
+        assert seg.xv == 7
+
+    def test_tie_break_directions(self, empty_cost):
+        a, b = Pin(2, 0), Pin(12, 3)
+        first = route_segment(empty_cost, a, b, tie_break=0)
+        last = route_segment(empty_cost, a, b, tie_break=1)
+        assert first.xv == 2
+        assert last.xv == 12
+        assert first.cost == last.cost
+
+    def test_bad_tie_break(self, empty_cost):
+        with pytest.raises(RoutingError):
+            route_segment(empty_cost, Pin(0, 0), Pin(1, 1), tie_break=2)
+
+    def test_out_of_order_pins_rejected(self, empty_cost):
+        with pytest.raises(RoutingError):
+            route_segment(empty_cost, Pin(9, 1), Pin(3, 1))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x1=st.integers(0, 30),
+        span=st.integers(0, 9),
+        c1=st.integers(0, 3),
+        c2=st.integers(0, 3),
+        seed=st.integers(0, 1000),
+    )
+    def test_matches_brute_force_on_short_segments(self, x1, span, c1, c2, seed):
+        """The vectorised evaluator finds the brute-force optimum."""
+        rng = np.random.default_rng(seed)
+        cost = CostArray(4, 40, rng.integers(0, 6, size=(4, 40)).astype(np.int32))
+        a, b = Pin(x1, c1), Pin(x1 + span, c2)
+        seg = route_segment(cost, a, b)
+        _, best_cost = brute_force_best(cost, a, b)
+        assert seg.cost == best_cost
+        cells = segment_cells(a, b, seg.xv, 40)
+        assert int(cost.data.reshape(-1)[cells].sum()) == seg.cost
+
+
+class TestSegmentCells:
+    def test_no_duplicates_within_segment(self):
+        cells = segment_cells(Pin(2, 0), Pin(12, 3), 7, 40)
+        assert len(cells) == len(set(cells.tolist()))
+
+    def test_cells_cover_endpoints(self):
+        cells = set(segment_cells(Pin(2, 0), Pin(12, 3), 7, 40).tolist())
+        assert 0 * 40 + 2 in cells  # source pin
+        assert 3 * 40 + 12 in cells  # destination pin
+
+    def test_interior_column_at_xv(self):
+        cells = set(segment_cells(Pin(2, 0), Pin(12, 3), 7, 40).tolist())
+        assert 1 * 40 + 7 in cells and 2 * 40 + 7 in cells
+
+    def test_xv_out_of_range_rejected(self):
+        with pytest.raises(RoutingError):
+            segment_cells(Pin(2, 0), Pin(12, 3), 13, 40)
+
+    def test_path_length_constant_over_candidates(self):
+        a, b = Pin(2, 0), Pin(12, 3)
+        lengths = {len(segment_cells(a, b, xv, 40)) for xv in range(2, 13)}
+        assert len(lengths) == 1
+
+
+class TestCandidateSampling:
+    def test_long_segments_sample_candidates(self):
+        cost = CostArray(4, 400)
+        a, b = Pin(0, 0), Pin(399, 3)
+        seg = route_segment(cost, a, b)
+        assert seg.candidates.size <= MAX_CANDIDATES
+        assert seg.candidates[0] == 0 and seg.candidates[-1] == 399
+
+    def test_short_segments_enumerate_all(self, empty_cost):
+        seg = route_segment(empty_cost, Pin(2, 0), Pin(12, 3))
+        assert seg.candidates.size == 11
+
+    def test_work_matches_candidates(self, empty_cost):
+        seg = route_segment(empty_cost, Pin(2, 0), Pin(12, 3))
+        # 11 candidates x (span+2+interior) = 11 * (10+2+2)
+        assert seg.work_cells == 11 * 14
+
+
+class TestReadCells:
+    def test_straight_read_is_the_run(self, empty_cost):
+        seg = route_segment(empty_cost, Pin(3, 1), Pin(9, 1))
+        cells = seg.read_cells(40)
+        assert len(cells) == 7
+
+    def test_bent_read_covers_rows_and_sampled_interior(self, empty_cost):
+        seg = route_segment(empty_cost, Pin(2, 0), Pin(12, 3))
+        cells = set(seg.read_cells(40).tolist())
+        # both pin rows fully
+        for x in range(2, 13):
+            assert 0 * 40 + x in cells and 3 * 40 + x in cells
+        # interior rows at candidate columns
+        assert 1 * 40 + 2 in cells and 2 * 40 + 12 in cells
+
+
+class TestRouteWire:
+    def test_multi_pin_union(self, empty_cost):
+        wire = Wire("w", [Pin(2, 0), Pin(8, 2), Pin(14, 1)])
+        result = route_wire(empty_cost, wire)
+        # segments share the middle pin cell: union must dedupe
+        total_with_dupes = sum(
+            len(segment_cells(a, b, s.xv, 40))
+            for (a, b), s in zip(wire.segments(), result.segments)
+        )
+        assert result.path.n_cells < total_with_dupes
+
+    def test_cost_is_path_cost_on_array(self, empty_cost):
+        empty_cost.data[:] = 1
+        wire = Wire("w", [Pin(2, 0), Pin(8, 2)])
+        result = route_wire(empty_cost, wire)
+        assert result.cost == result.path.n_cells
+
+    def test_does_not_modify_cost_array(self, empty_cost):
+        before = empty_cost.data.copy()
+        route_wire(empty_cost, Wire("w", [Pin(2, 0), Pin(8, 2)]))
+        assert np.array_equal(empty_cost.data, before)
+
+    def test_deterministic(self, empty_cost):
+        wire = Wire("w", [Pin(2, 0), Pin(8, 2), Pin(14, 1)])
+        a = route_wire(empty_cost, wire)
+        b = route_wire(empty_cost, wire)
+        assert a.path == b.path and a.cost == b.cost

@@ -1,0 +1,81 @@
+"""Tests for update schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.updates import UpdateSchedule
+
+
+class TestConstruction:
+    def test_sender_initiated_constructor(self):
+        s = UpdateSchedule.sender_initiated(2, 10)
+        assert s.send_rmt_every == 2 and s.send_loc_every == 10
+        assert s.has_sender_initiated and not s.has_receiver_initiated
+
+    def test_receiver_initiated_constructor(self):
+        s = UpdateSchedule.receiver_initiated(1, 5)
+        assert s.req_loc_every == 1 and s.req_rmt_every == 5
+        assert s.has_receiver_initiated and not s.has_sender_initiated
+        assert not s.blocking
+
+    def test_mixed_example_matches_paper(self):
+        s = UpdateSchedule.mixed_example()
+        assert (s.send_loc_every, s.send_rmt_every) == (5, 2)
+        assert (s.req_loc_every, s.req_rmt_every) == (1, 5)
+        assert s.is_mixed
+
+    def test_silent_schedule(self):
+        s = UpdateSchedule()
+        assert s.is_silent
+        assert s.describe() == "silent"
+
+    def test_default_lookahead_is_five(self):
+        # §4.3.3: "request updates for five wires at a time".
+        assert UpdateSchedule.receiver_initiated(1, 5).lookahead_wires == 5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"send_loc_every": 0},
+            {"send_rmt_every": -1},
+            {"req_rmt_every": 0},
+            {"req_loc_every": 0},
+        ],
+    )
+    def test_nonpositive_intervals_rejected(self, kw):
+        with pytest.raises(ProtocolError):
+            UpdateSchedule(**kw)
+
+    def test_blocking_requires_requests(self):
+        with pytest.raises(ProtocolError):
+            UpdateSchedule(send_loc_every=5, blocking=True)
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(ProtocolError):
+            UpdateSchedule(req_rmt_every=5, lookahead_wires=-1)
+
+
+class TestHelpers:
+    def test_with_blocking(self):
+        s = UpdateSchedule.receiver_initiated(1, 5).with_blocking(True)
+        assert s.blocking
+        assert s.req_rmt_every == 5
+
+    def test_describe_formats(self):
+        s = UpdateSchedule.mixed_example()
+        text = s.describe()
+        for token in ("SLD=5", "SRD=2", "RLD=1", "RRD=5"):
+            assert token in text
+
+    def test_describe_blocking_flag(self):
+        s = UpdateSchedule.receiver_initiated(1, 5, blocking=True)
+        assert "blocking" in s.describe()
+
+    def test_frozen(self):
+        s = UpdateSchedule.sender_initiated(2, 10)
+        with pytest.raises(AttributeError):
+            s.send_loc_every = 3

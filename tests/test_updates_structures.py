@@ -1,0 +1,86 @@
+"""Tests for the §4.3.1 packet-structure alternatives."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.circuits import tiny_test_circuit
+from repro.errors import ProtocolError
+from repro.parallel import run_message_passing
+from repro.updates import (
+    SEGMENT_RECORD_BYTES,
+    WIRE_RECORD_BYTES,
+    PacketStructure,
+    UpdateSchedule,
+    wire_based_bytes,
+)
+
+
+class TestWireBasedBytes:
+    def test_formula(self):
+        assert wire_based_bytes(3, 7) == 3 * WIRE_RECORD_BYTES + 7 * SEGMENT_RECORD_BYTES
+
+    def test_zero_changes(self):
+        assert wire_based_bytes(0, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire_based_bytes(-1, 0)
+
+
+class TestScheduleIntegration:
+    def test_default_is_bounding_box(self):
+        s = UpdateSchedule.sender_initiated(2, 10)
+        assert s.packet_structure is PacketStructure.BOUNDING_BOX
+        assert "bounding" not in s.describe()
+
+    def test_non_default_structures_described(self):
+        s = replace(
+            UpdateSchedule.sender_initiated(2, 10),
+            packet_structure=PacketStructure.FULL_REGION,
+        )
+        assert "full-region" in s.describe()
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return tiny_test_circuit(n_wires=30)
+
+
+class TestStructuresEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self, circuit):
+        base = UpdateSchedule.sender_initiated(2, 2)
+        return {
+            ps: run_message_passing(
+                circuit,
+                replace(base, packet_structure=ps),
+                n_procs=4,
+                iterations=2,
+            )
+            for ps in PacketStructure
+        }
+
+    def test_all_structures_route_everything(self, runs, circuit):
+        for result in runs.values():
+            assert set(result.paths) == set(range(circuit.n_wires))
+
+    def test_full_region_costs_most(self, runs):
+        traffic = {ps: r.mbytes_transferred for ps, r in runs.items()}
+        assert traffic[PacketStructure.FULL_REGION] == max(traffic.values())
+
+    def test_bbox_beats_full_region(self, runs):
+        assert (
+            runs[PacketStructure.BOUNDING_BOX].mbytes_transferred
+            < runs[PacketStructure.FULL_REGION].mbytes_transferred
+        )
+
+    def test_identical_information_same_solution(self, runs):
+        """Wire-based packets only change accounting, not semantics: the
+        routed solution matches the bounding-box run exactly."""
+        a = runs[PacketStructure.BOUNDING_BOX]
+        b = runs[PacketStructure.WIRE_BASED]
+        assert a.quality.circuit_height == b.quality.circuit_height
+        assert all(a.paths[w] == b.paths[w] for w in a.paths)

@@ -1,0 +1,73 @@
+"""Tests for the ASCII figure renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import tiny_test_circuit
+from repro.grid import CostArray, RegionMap
+from repro.route import RoutePath, SequentialRouter
+from repro.viz import ascii_cost_array, ascii_regions, ascii_update_taxonomy
+
+
+class TestCostArrayFigure:
+    def test_empty_array_renders_blank(self):
+        text = ascii_cost_array(CostArray(3, 10))
+        lines = text.splitlines()
+        assert lines[1] == "|          | channel 0"
+        assert "circuit height = 0" in lines[-1]
+
+    def test_occupancy_density_ramp(self):
+        cost = CostArray(1, 4)
+        cost.data[0] = [0, 1, 5, 20]
+        text = ascii_cost_array(cost)
+        row = text.splitlines()[1]
+        assert row[1] == " " and row[2] == "." and row[4] == "@"
+
+    def test_highlight_marks_path(self):
+        cost = CostArray(2, 10)
+        path = RoutePath.from_cells(np.array([3, 4]), 10)
+        cost.apply_path(path.flat_cells)
+        text = ascii_cost_array(cost, highlight=path)
+        assert "O" in text.splitlines()[1]
+
+    def test_highlight_empty_cells_lowercase(self):
+        cost = CostArray(2, 10)
+        path = RoutePath.from_cells(np.array([3]), 10)
+        text = ascii_cost_array(cost, highlight=path)
+        assert "o" in text.splitlines()[1]
+
+    def test_wide_arrays_downsampled(self):
+        cost = CostArray(2, 400)
+        text = ascii_cost_array(cost, max_width=80)
+        assert all(len(line) <= 95 for line in text.splitlines())
+
+    def test_full_routed_circuit_renders(self):
+        circuit = tiny_test_circuit()
+        result = SequentialRouter(circuit, iterations=1).run()
+        text = ascii_cost_array(result.cost, highlight=result.paths[0])
+        assert f"circuit height = {result.quality.circuit_height}" in text
+
+
+class TestRegionFigure:
+    def test_region_glyphs_match_owners(self):
+        regions = RegionMap(4, 40, 4)
+        text = ascii_regions(regions)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert rows[0][1] == "0"
+        assert rows[0][-2] == "1"
+        assert rows[-1][1] == "2"
+        assert rows[-1][-2] == "3"
+
+    def test_sixteen_processors_hex(self):
+        regions = RegionMap(16, 160, 16)
+        text = ascii_regions(regions)
+        assert "F" in text  # processor 15 renders as hex
+
+
+class TestTaxonomyFigure:
+    def test_all_four_kinds_present(self):
+        text = ascii_update_taxonomy()
+        for name in ("SendLocData", "SendRmtData", "ReqLocData", "ReqRmtData"):
+            assert name in text
+        assert "blocking" in text
