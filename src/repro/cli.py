@@ -36,7 +36,8 @@ from typing import List, Optional
 from . import __version__
 from .circuits import bnre_like, compute_stats, load_json, mdc_like, save_json, save_text
 from .errors import ReproError
-from .harness.runner import run_all
+from .harness.pool import default_jobs
+from .harness.runner import BENCH_FILENAME, run_all
 from .parallel import run_dynamic_assignment, run_message_passing, run_shared_memory
 from .route import SequentialRouter
 from .updates import PacketStructure, UpdateSchedule
@@ -131,6 +132,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("ids", nargs="+", help="experiment ids (T1..T6, X1..X5, or 'all')")
     p_exp.add_argument("--quick", action="store_true", help="shrunk circuits, fast run")
     p_exp.add_argument("--out", help="directory for JSON results")
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool width (0 = one per CPU); many ids fan out per "
+        "experiment, a single id fans out its sweep rows",
+    )
+    p_exp.add_argument(
+        "--cache-dir",
+        default=".locusroute_cache",
+        help="content-addressed result cache directory "
+        "(default: %(default)s)",
+    )
+    p_exp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache (neither read nor write it)",
+    )
+    p_exp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout for parallel execution (retried once)",
+    )
+    p_exp.add_argument(
+        "--bench",
+        metavar="PATH",
+        help=f"write the {BENCH_FILENAME} telemetry record here "
+        "(default: into --out when given)",
+    )
 
     return parser
 
@@ -234,7 +266,17 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = None if [i.lower() for i in args.ids] == ["all"] else args.ids
-    results = run_all(ids, quick=args.quick, out_dir=args.out)
+    jobs = default_jobs() if args.jobs == 0 else args.jobs
+    results = run_all(
+        ids,
+        quick=args.quick,
+        out_dir=args.out,
+        jobs=jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        timeout_s=args.timeout,
+        bench_path=args.bench,
+    )
     return 0 if all(r.passed for r in results) else 1
 
 

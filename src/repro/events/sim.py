@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..obs import telemetry as obs
 from .queue import Event, EventQueue
 
 __all__ = ["Simulator"]
@@ -61,18 +62,26 @@ class Simulator:
         ``max_steps`` guards against runaway simulations; ``until`` stops
         the clock at a given virtual time (events beyond it stay queued).
         Returns the final virtual time.
+
+        Telemetry: the number of events executed by this call is added to
+        the global ``sim.events`` counter on exit (one batched increment,
+        nothing per-event), including when an event's action raises.
         """
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                return self._now
-            if until is not None and next_time > until:
-                self._now = until
-                return self._now
-            event = self._queue.pop()
-            assert event is not None
-            self._now = event.time
-            self._steps += 1
-            if self._steps > max_steps:
-                raise SimulationError(f"simulation exceeded {max_steps} events")
-            event.action()
+        steps_before = self._steps
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    return self._now
+                if until is not None and next_time > until:
+                    self._now = until
+                    return self._now
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                self._steps += 1
+                if self._steps > max_steps:
+                    raise SimulationError(f"simulation exceeded {max_steps} events")
+                event.action()
+        finally:
+            obs.incr("sim.events", self._steps - steps_before)

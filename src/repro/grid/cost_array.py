@@ -18,7 +18,11 @@ The array deliberately allows *negative transients only as an error*: since
 every decrement must correspond to an earlier increment of the same path,
 a well-behaved client can never drive an entry below zero.  ``remove_path``
 checks this in debug mode (`strict=True`, the default) because it is the
-single most effective canary for rip-up bookkeeping bugs.
+single most effective canary for rip-up bookkeeping bugs.  Rip-up must
+mirror application exactly: a path applied with ``apply_path(cells, delta)``
+is ripped up with ``remove_path(cells, delta)`` using the *same* delta, and
+the strict canary checks each entry against that delta (an entry below the
+delta being removed proves the path was never applied at that weight).
 """
 
 from __future__ import annotations
@@ -109,19 +113,23 @@ class CostArray:
         flat = self._data.reshape(-1)
         flat[flat_cells] += delta
 
-    def remove_path(self, flat_cells: np.ndarray, strict: bool = True) -> None:
-        """Rip up a previously applied path (decrement its cells).
+    def remove_path(
+        self, flat_cells: np.ndarray, delta: int = 1, strict: bool = True
+    ) -> None:
+        """Rip up a previously applied path (subtract *delta* from its cells).
 
-        With ``strict`` (default) raises :class:`GridError` if any cell
-        would go negative, which always indicates double rip-up or a path
-        that was never applied.
+        *delta* must match the delta the path was applied with, so a
+        multi-delta :meth:`apply_path` can be ripped up exactly.  With
+        ``strict`` (default) raises :class:`GridError` if any cell would go
+        negative — i.e. any entry is below *delta* — which always indicates
+        double rip-up, a path that was never applied, or a delta mismatch.
         """
         if flat_cells.size == 0:
             return
         flat = self._data.reshape(-1)
-        if strict and np.any(flat[flat_cells] <= 0):
+        if strict and np.any(flat[flat_cells] < delta):
             raise GridError("rip-up would drive a cost array entry negative")
-        flat[flat_cells] -= 1
+        flat[flat_cells] -= delta
 
     def path_cost(self, flat_cells: np.ndarray) -> int:
         """Sum of entries over a set of cells (the path's routing cost)."""

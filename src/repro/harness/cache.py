@@ -1,0 +1,237 @@
+"""Content-addressed result cache for the experiment harness.
+
+Every cacheable unit of work — a whole experiment, or one simulation row
+inside a sweep — is identified by a *fingerprint*: a plain dict of every
+input that determines its output (experiment id, circuit parameters,
+schedule fields, processor count, iteration count, cost-model fields,
+and a digest of the package source).  :func:`stable_hash` canonicalises
+the fingerprint to JSON and hashes it, so the same configuration always
+maps to the same cache file and *any* single field change maps to a
+different one.
+
+Two storage namespaces share one directory:
+
+- ``experiments/<key>.json`` — rendered :class:`ExperimentResult`
+  payloads (rows, checks, notes), human-inspectable JSON;
+- ``sims/<key>.pkl`` — pickled
+  :class:`~repro.parallel.results.ParallelRunResult` objects for the
+  per-row simulation cache (they carry numpy arrays and routed paths,
+  which JSON cannot round-trip).
+
+All writes are atomic (tmp file + ``os.replace`` in the same directory),
+so a reader can never observe a half-written entry; a corrupted or
+truncated entry is treated as a miss and overwritten on the next run.
+Hits and misses are counted in the global telemetry
+(``cache.experiment.hits`` etc.) so ``BENCH_harness.json`` can report
+them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, is_dataclass
+from enum import Enum
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .. import __version__
+from ..obs import telemetry as obs
+from ..parallel.timing import DEFAULT_COST_MODEL, CostModel
+
+__all__ = [
+    "ResultCache",
+    "stable_hash",
+    "jsonify",
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "code_fingerprint",
+    "circuit_fingerprint",
+    "cost_model_fingerprint",
+]
+
+PathLike = Union[str, Path]
+
+#: Bump to invalidate every existing cache entry on a format change.
+CACHE_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# canonicalisation and hashing
+# ----------------------------------------------------------------------
+def jsonify(obj: Any) -> Any:
+    """Recursively convert *obj* into JSON-serialisable plain data.
+
+    Handles numpy scalars/arrays, tuples, sets, enums, dataclasses, and
+    dicts with non-string keys (keyed by ``repr``) — everything that
+    appears in experiment rows, extras, and configuration fingerprints.
+    """
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return jsonify(asdict(obj))
+    if isinstance(obj, dict):
+        return {
+            (k if isinstance(k, str) else repr(k)): jsonify(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(v) for v in obj)
+    return repr(obj)
+
+
+def stable_hash(fingerprint: Dict[str, Any]) -> str:
+    """The cache key of a fingerprint dict: sha256 of its canonical JSON."""
+    canonical = json.dumps(
+        jsonify(fingerprint), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# fingerprint ingredients
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file plus the package version.
+
+    Any code change invalidates cached results — simulation outputs
+    depend on the whole simulator stack, not just the harness.
+    """
+    digest = hashlib.sha256()
+    digest.update(__version__.encode())
+    root = Path(__file__).resolve().parent.parent
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def circuit_fingerprint(circuit) -> str:
+    """Digest of a circuit's full netlist (dimensions, wires, pin coords)."""
+    digest = hashlib.sha256()
+    digest.update(
+        f"{circuit.name}|{circuit.n_channels}|{circuit.n_grids}|"
+        f"{circuit.n_wires}".encode()
+    )
+    for wire in circuit.wires:
+        digest.update(wire.name.encode())
+        for pin in wire.pins:
+            digest.update(f"{pin.x},{pin.channel};".encode())
+    return digest.hexdigest()
+
+
+def cost_model_fingerprint(cost_model: CostModel = DEFAULT_COST_MODEL) -> Dict[str, float]:
+    """The cost-model fields that shape every simulated time."""
+    return asdict(cost_model)
+
+
+# ----------------------------------------------------------------------
+# atomic writes (shared with runner.save_result)
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write *data* to *path* atomically (tmp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write *text* (UTF-8) to *path* atomically."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed cache over one directory (see module docstring).
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created lazily on the first write.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+
+    # -- paths ---------------------------------------------------------
+    def experiment_path(self, key: str) -> Path:
+        """Cache file for an experiment-level JSON payload."""
+        return self.directory / "experiments" / f"{key}.json"
+
+    def sim_path(self, key: str) -> Path:
+        """Cache file for a pickled simulation result."""
+        return self.directory / "sims" / f"{key}.pkl"
+
+    # -- experiment-level (JSON) ---------------------------------------
+    def get_experiment(self, key: str) -> Optional[dict]:
+        """Cached experiment payload, or ``None`` on miss/corruption."""
+        path = self.experiment_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            obs.incr("cache.experiment.misses")
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            obs.incr("cache.experiment.misses")
+            return None
+        obs.incr("cache.experiment.hits")
+        return payload
+
+    def put_experiment(self, key: str, payload: dict) -> Path:
+        """Store an experiment payload (adds the schema tag)."""
+        payload = {"schema": CACHE_SCHEMA, **payload}
+        return atomic_write_text(
+            self.experiment_path(key), json.dumps(payload, indent=1)
+        )
+
+    # -- simulation-level (pickle) -------------------------------------
+    def get_sim(self, key: str) -> Optional[object]:
+        """Cached simulation result, or ``None`` on miss/corruption."""
+        path = self.sim_path(key)
+        try:
+            with path.open("rb") as handle:
+                schema, obj = pickle.load(handle)
+        except (OSError, ValueError, EOFError, pickle.UnpicklingError,
+                AttributeError, ImportError, IndexError, TypeError):
+            obs.incr("cache.sim.misses")
+            return None
+        if schema != CACHE_SCHEMA:
+            obs.incr("cache.sim.misses")
+            return None
+        obs.incr("cache.sim.hits")
+        return obj
+
+    def put_sim(self, key: str, obj: object) -> Path:
+        """Store a simulation result."""
+        data = pickle.dumps((CACHE_SCHEMA, obj), protocol=pickle.HIGHEST_PROTOCOL)
+        return atomic_write_bytes(self.sim_path(key), data)

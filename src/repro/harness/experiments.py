@@ -24,6 +24,7 @@ from ..parallel import run_message_passing, run_shared_memory
 from ..route import locality_measure
 from ..updates import UpdateSchedule
 from . import reference as ref
+from .simjobs import SimConfig, run_sim_configs
 from .tables import render_checks, render_table
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "quick_circuit"]
@@ -96,7 +97,6 @@ def _monotone_increasing(values: List[float], tolerance: float = 0.0) -> bool:
 # ----------------------------------------------------------------------
 def run_table1(quick: bool = False) -> ExperimentResult:
     """Table 1: quality/traffic/time vs sender-initiated update frequency."""
-    circuit = quick_circuit("bnrE", quick)
     srd_values = [2, 5, 10]
     sld_values = [1, 5, 10, 20]
     rows: List[Dict[str, object]] = []
@@ -104,31 +104,38 @@ def run_table1(quick: bool = False) -> ExperimentResult:
     times: Dict[tuple, float] = {}
     heights: List[int] = []
 
-    for srd in srd_values:
-        for sld in sld_values:
-            result = run_message_passing(
-                circuit,
-                UpdateSchedule.sender_initiated(srd, sld),
+    combos = [(srd, sld) for srd in srd_values for sld in sld_values]
+    results = run_sim_configs(
+        [
+            SimConfig(
+                kind="mp",
+                which="bnrE",
+                quick=quick,
+                schedule=UpdateSchedule.sender_initiated(srd, sld),
                 iterations=_iters(quick),
             )
-            row = result.table_row()
-            traffic[(srd, sld)] = row["mbytes"]
-            times[(srd, sld)] = row["time_s"]
-            heights.append(row["ckt_height"])
-            paper = ref.paper_row(ref.TABLE1_SENDER, (srd, sld)) or {}
-            rows.append(
-                {
-                    "SendRmtData": srd,
-                    "SendLocData": sld,
-                    "ckt_height": row["ckt_height"],
-                    "occupancy": row["occupancy"],
-                    "mbytes": row["mbytes"],
-                    "time_s": row["time_s"],
-                    "paper_height": paper.get("ckt_height"),
-                    "paper_mbytes": paper.get("mbytes"),
-                    "paper_time": paper.get("time_s"),
-                }
-            )
+            for srd, sld in combos
+        ]
+    )
+    for (srd, sld), result in zip(combos, results):
+        row = result.table_row()
+        traffic[(srd, sld)] = row["mbytes"]
+        times[(srd, sld)] = row["time_s"]
+        heights.append(row["ckt_height"])
+        paper = ref.paper_row(ref.TABLE1_SENDER, (srd, sld)) or {}
+        rows.append(
+            {
+                "SendRmtData": srd,
+                "SendLocData": sld,
+                "ckt_height": row["ckt_height"],
+                "occupancy": row["occupancy"],
+                "mbytes": row["mbytes"],
+                "time_s": row["time_s"],
+                "paper_height": paper.get("ckt_height"),
+                "paper_mbytes": paper.get("mbytes"),
+                "paper_time": paper.get("time_s"),
+            }
+        )
 
     checks = {
         # §5.1.1: "The number of bytes transferred is also a clear function
@@ -174,37 +181,43 @@ def run_table1(quick: bool = False) -> ExperimentResult:
 # ----------------------------------------------------------------------
 def run_table2(quick: bool = False) -> ExperimentResult:
     """Table 2: non-blocking receiver-initiated update sweep."""
-    circuit = quick_circuit("bnrE", quick)
     rld_values = [1, 2, 10]
     rrd_values = [5, 10, 30]
     rows: List[Dict[str, object]] = []
     traffic: Dict[tuple, float] = {}
     times: List[float] = []
 
-    for rld in rld_values:
-        for rrd in rrd_values:
-            result = run_message_passing(
-                circuit,
-                UpdateSchedule.receiver_initiated(rld, rrd),
+    combos = [(rld, rrd) for rld in rld_values for rrd in rrd_values]
+    results = run_sim_configs(
+        [
+            SimConfig(
+                kind="mp",
+                which="bnrE",
+                quick=quick,
+                schedule=UpdateSchedule.receiver_initiated(rld, rrd),
                 iterations=_iters(quick),
             )
-            row = result.table_row()
-            traffic[(rld, rrd)] = row["mbytes"]
-            times.append(row["time_s"])
-            paper = ref.paper_row(ref.TABLE2_RECEIVER, (rld, rrd)) or {}
-            rows.append(
-                {
-                    "ReqLocData": rld,
-                    "ReqRmtData": rrd,
-                    "ckt_height": row["ckt_height"],
-                    "occupancy": row["occupancy"],
-                    "mbytes": row["mbytes"],
-                    "time_s": row["time_s"],
-                    "paper_height": paper.get("ckt_height"),
-                    "paper_mbytes": paper.get("mbytes"),
-                    "paper_time": paper.get("time_s"),
-                }
-            )
+            for rld, rrd in combos
+        ]
+    )
+    for (rld, rrd), result in zip(combos, results):
+        row = result.table_row()
+        traffic[(rld, rrd)] = row["mbytes"]
+        times.append(row["time_s"])
+        paper = ref.paper_row(ref.TABLE2_RECEIVER, (rld, rrd)) or {}
+        rows.append(
+            {
+                "ReqLocData": rld,
+                "ReqRmtData": rrd,
+                "ckt_height": row["ckt_height"],
+                "occupancy": row["occupancy"],
+                "mbytes": row["mbytes"],
+                "time_s": row["time_s"],
+                "paper_height": paper.get("ckt_height"),
+                "paper_mbytes": paper.get("mbytes"),
+                "paper_time": paper.get("time_s"),
+            }
+        )
 
     checks = {
         # Traffic falls sharply as requests become rarer.
@@ -432,17 +445,23 @@ def run_table5(quick: bool = False) -> ExperimentResult:
 # ----------------------------------------------------------------------
 def run_table6(quick: bool = False) -> ExperimentResult:
     """Table 6: scaling the processor count (sender initiated 2/10)."""
-    circuit = quick_circuit("bnrE", quick)
     procs = [2, 4, 9, 16]
     rows = []
     by_p: Dict[int, Dict[str, object]] = {}
-    for p in procs:
-        result = run_message_passing(
-            circuit,
-            UpdateSchedule.sender_initiated(2, 10),
-            n_procs=p,
-            iterations=_iters(quick),
-        )
+    results = run_sim_configs(
+        [
+            SimConfig(
+                kind="mp",
+                which="bnrE",
+                quick=quick,
+                schedule=UpdateSchedule.sender_initiated(2, 10),
+                n_procs=p,
+                iterations=_iters(quick),
+            )
+            for p in procs
+        ]
+    )
+    for p, result in zip(procs, results):
         row = result.table_row()
         by_p[p] = row
         paper = ref.paper_row(ref.TABLE6_SCALING, p) or {}
@@ -691,14 +710,21 @@ def run_x5_speedup(quick: bool = False) -> ExperimentResult:
     speedups: Dict[str, float] = {}
     for which, paper_value in (("bnrE", ref.TEXT_RESULTS["speedup_bnre"]),
                                ("MDC", ref.TEXT_RESULTS["speedup_mdc"])):
-        circuit = quick_circuit(which, quick)
         schedule = UpdateSchedule.sender_initiated(2, 10)
-        t2 = run_message_passing(
-            circuit, schedule, n_procs=2, iterations=_iters(quick)
-        ).exec_time_s
-        t16 = run_message_passing(
-            circuit, schedule, n_procs=16, iterations=_iters(quick)
-        ).exec_time_s
+        pair = run_sim_configs(
+            [
+                SimConfig(
+                    kind="mp",
+                    which=which,
+                    quick=quick,
+                    schedule=schedule,
+                    n_procs=p,
+                    iterations=_iters(quick),
+                )
+                for p in (2, 16)
+            ]
+        )
+        t2, t16 = (r.exec_time_s for r in pair)
         speedup = 2 * t2 / t16
         speedups[which] = speedup
         rows.append(

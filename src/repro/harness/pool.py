@@ -1,0 +1,111 @@
+"""Deterministic process-pool mapping with per-task timeout and retry.
+
+Both fan-out levels of the parallel harness — experiment ids in
+:mod:`repro.harness.parallel_runner`, and per-row simulation configs in
+:mod:`repro.harness.simjobs` — need the same primitive: map a picklable
+function over independent items on a ``ProcessPoolExecutor`` and get the
+results back *in item order* regardless of completion order, with a
+per-task timeout and one retry for robustness.
+
+Failure policy
+--------------
+A task that raises in its worker, or exceeds ``timeout_s``, is retried
+**once, serially, in the parent process** after the pool pass finishes.
+Serial retry sidesteps a potentially broken/saturated pool and makes the
+second attempt easy to debug (the traceback is the real one, not a
+pickled copy).  A task that fails twice raises :class:`ExperimentError`
+carrying the original failure.
+
+Timeout semantics: ``timeout_s`` bounds how long the parent waits for
+each task *from the moment it starts waiting on it* (tasks are awaited
+in submission order, so time spent waiting on earlier tasks also counts
+towards later ones — a late task only trips the timeout if it is still
+unfinished ``timeout_s`` after all earlier tasks were collected).  A
+timed-out worker cannot be interrupted mid-task; the pool is shut down
+without waiting and the orphaned worker exits when its simulation
+completes (every simulation terminates — the event kernel has a
+``max_steps`` guard).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..errors import ExperimentError
+
+__all__ = ["pool_map", "default_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs auto`` value: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def _run_with_retry(fn: Callable[[T], R], item: T, label: str, index: int) -> R:
+    """Serial execution with the same retry-once contract as the pool."""
+    try:
+        return fn(item)
+    except ExperimentError:
+        raise
+    except Exception:
+        try:
+            return fn(item)
+        except Exception as exc:
+            raise ExperimentError(
+                f"{label} {index} ({item!r}) failed twice: {exc}"
+            ) from exc
+
+
+def pool_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    label: str = "task",
+) -> List[R]:
+    """Map *fn* over *items*, results in item order (see module docstring).
+
+    ``jobs <= 1`` (or a single item) runs serially in-process, still with
+    the retry-once contract, so callers need exactly one code path.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if jobs <= 1 or len(items) == 1:
+        return [
+            _run_with_retry(fn, item, label, i) for i, item in enumerate(items)
+        ]
+
+    results: dict = {}
+    failures: List[int] = []
+    executor = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    try:
+        futures = [executor.submit(fn, item) for item in items]
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result(timeout=timeout_s)
+            except FutureTimeoutError:
+                future.cancel()
+                failures.append(i)
+            except Exception:
+                failures.append(i)
+    finally:
+        # Don't block on a timed-out worker; pending tasks were either
+        # collected or recorded as failures.
+        executor.shutdown(wait=not failures, cancel_futures=True)
+
+    for i in failures:
+        try:
+            results[i] = fn(items[i])
+        except Exception as exc:
+            raise ExperimentError(
+                f"{label} {i} ({items[i]!r}) failed twice "
+                f"(once in a worker, once on serial retry): {exc}"
+            ) from exc
+    return [results[i] for i in range(len(items))]

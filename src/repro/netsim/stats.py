@@ -56,6 +56,20 @@ class NetworkStats:
         """Mean end-to-end message latency."""
         return self.total_latency_s / self.n_messages if self.n_messages else 0.0
 
+    def rates(self, elapsed_s: float) -> Dict[str, float]:
+        """Messages/bytes per second over *elapsed_s* seconds.
+
+        *elapsed_s* is whatever clock the caller cares about — the run's
+        simulated makespan for offered-load figures, or harness wall time
+        for simulator-throughput telemetry.  Must be positive.
+        """
+        if elapsed_s <= 0:
+            raise ValueError(f"elapsed time must be positive, got {elapsed_s}")
+        return {
+            "messages_per_s": self.n_messages / elapsed_s,
+            "bytes_per_s": self.total_bytes / elapsed_s,
+        }
+
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict summary for JSON dumps."""
         return {

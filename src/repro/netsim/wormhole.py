@@ -58,7 +58,9 @@ class WormholeNetwork:
     topology:
         Link structure and deterministic routes.
     hop_time_s, process_time_s:
-        Timing constants (defaults are the paper's).
+        Timing constants (defaults are the paper's).  ``hop_time_s`` must
+        be strictly positive; ``process_time_s`` may be 0 — a legitimate
+        ideal-network ablation with free node/network copies.
     on_deliver:
         Callback invoked as ``on_deliver(delivery)`` when a message
         arrives at its destination.
@@ -72,8 +74,12 @@ class WormholeNetwork:
         hop_time_s: float = HOP_TIME_S,
         process_time_s: float = PROCESS_TIME_S,
     ) -> None:
-        if hop_time_s <= 0 or process_time_s < 0:
-            raise NetworkError("timing constants must be positive")
+        if hop_time_s <= 0:
+            raise NetworkError(f"hop_time_s must be positive, got {hop_time_s}")
+        if process_time_s < 0:
+            raise NetworkError(
+                f"process_time_s must be non-negative, got {process_time_s}"
+            )
         self.sim = sim
         self.topology = topology
         self.on_deliver = on_deliver

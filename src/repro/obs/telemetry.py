@@ -1,0 +1,149 @@
+"""Lightweight performance telemetry: counters and wall/CPU span timers.
+
+The simulators and the experiment harness report into a process-global
+:class:`Telemetry` instance so that any entry point (CLI, tests, bench
+scripts) can read a consistent picture of how much work was done:
+events processed by the discrete-event kernel, messages injected into
+the wormhole network, shared-memory trace references, cache hits, and
+the wall/CPU time of each simulation span.
+
+Overhead discipline
+-------------------
+Nothing here runs per-event.  The event kernel reports one *batch*
+counter increment per :meth:`~repro.events.sim.Simulator.run` call, and
+the simulators report their totals once per run — so the hot loops stay
+exactly as tight as before instrumentation.
+
+Worker processes of the parallel harness each carry their own global
+instance; the parent folds their :meth:`Telemetry.snapshot` dictionaries
+back in with :meth:`Telemetry.merge` (counters and span aggregates are
+both additive).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "incr",
+    "record_span",
+    "span",
+    "snapshot",
+    "reset",
+]
+
+
+class Telemetry:
+    """Additive counters plus per-span wall/CPU time aggregates."""
+
+    __slots__ = ("counters", "spans")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.spans: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, n: float = 1) -> None:
+        """Add *n* to counter *name* (created at 0 on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def record_span(self, name: str, wall_s: float, cpu_s: float) -> None:
+        """Fold one timed span into the aggregate for *name*."""
+        agg = self.spans.setdefault(
+            name, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0}
+        )
+        agg["calls"] += 1
+        agg["wall_s"] += wall_s
+        agg["cpu_s"] += cpu_s
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context manager measuring a wall/CPU span under *name*."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            self.record_span(
+                name, time.perf_counter() - wall0, time.process_time() - cpu0
+            )
+
+    # ------------------------------------------------------------------
+    # reading / combining
+    # ------------------------------------------------------------------
+    def count(self, name: str) -> float:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def rate(self, counter: str, span_name: str) -> Optional[float]:
+        """Counter *counter* per wall-second of span *span_name*.
+
+        ``None`` when the span is absent or has zero wall time.
+        """
+        agg = self.spans.get(span_name)
+        if agg is None or agg["wall_s"] <= 0:
+            return None
+        return self.counters.get(counter, 0) / agg["wall_s"]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy (JSON-safe, safe to mutate)."""
+        return {
+            "counters": dict(self.counters),
+            "spans": {name: dict(agg) for name, agg in self.spans.items()},
+        }
+
+    def merge(self, snap: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this."""
+        for name, value in snap.get("counters", {}).items():
+            self.incr(name, value)
+        for name, agg in snap.get("spans", {}).items():
+            dst = self.spans.setdefault(
+                name, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            for key in ("calls", "wall_s", "cpu_s"):
+                dst[key] += agg.get(key, 0)
+
+    def reset(self) -> None:
+        """Drop every counter and span."""
+        self.counters.clear()
+        self.spans.clear()
+
+
+#: The process-global instance every simulator reports into.
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global :class:`Telemetry` instance."""
+    return _GLOBAL
+
+
+def incr(name: str, n: float = 1) -> None:
+    """Increment a counter on the global instance."""
+    _GLOBAL.incr(name, n)
+
+
+def record_span(name: str, wall_s: float, cpu_s: float) -> None:
+    """Record one timed span on the global instance."""
+    _GLOBAL.record_span(name, wall_s, cpu_s)
+
+
+def span(name: str):
+    """Timed-span context manager on the global instance."""
+    return _GLOBAL.span(name)
+
+
+def snapshot() -> Dict[str, object]:
+    """Snapshot of the global instance."""
+    return _GLOBAL.snapshot()
+
+
+def reset() -> None:
+    """Reset the global instance (tests and worker-process startup)."""
+    _GLOBAL.reset()

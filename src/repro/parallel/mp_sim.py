@@ -21,6 +21,7 @@ assigned wire (including the update sends that wire triggered).
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -34,6 +35,7 @@ from ..grid.cost_array import CostArray
 from ..grid.regions import RegionMap, proc_grid_shape
 from ..netsim.message import Delivery, Message
 from ..netsim.topology import MeshTopology
+from ..obs import telemetry as obs
 from ..netsim.wormhole import WormholeNetwork
 from ..route.path import RoutePath
 from ..route.quality import QualityReport, circuit_height
@@ -90,6 +92,7 @@ def run_message_passing(
         mechanism behind every quality result in the paper — nodes route
         against views that have drifted from reality.
     """
+    wall0, cpu0 = time.perf_counter(), time.process_time()
     shape = proc_grid_shape(n_procs)
     regions = RegionMap(circuit.n_channels, circuit.n_grids, n_procs, shape)
     if assignment is None:
@@ -241,6 +244,12 @@ def run_message_passing(
             "max_l1": float(divergence_max.max()),
             "per_proc_mean_l1": per_proc.tolist(),
         }
+    obs.record_span(
+        "sim.mp", time.perf_counter() - wall0, time.process_time() - cpu0
+    )
+    obs.incr("sim.mp.runs")
+    obs.incr("sim.mp.messages_sent", network.stats.n_messages)
+    obs.incr("sim.mp.bytes_sent", network.stats.total_bytes)
     return ParallelRunResult(
         paradigm="message_passing",
         quality=quality,

@@ -27,6 +27,7 @@ slowdown (compare with message passing times multiplied by five, §5.1.1).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -43,6 +44,7 @@ from ..memsim.coherence import simulate_trace
 from ..memsim.update_protocol import simulate_trace_write_update
 from ..memsim.stats import CoherenceStats
 from ..memsim.tango import SharedLayout, TangoCollector
+from ..obs import telemetry as obs
 from ..route.path import RoutePath
 from ..route.quality import QualityReport, circuit_height
 from ..route.twobend import route_wire
@@ -103,6 +105,7 @@ def run_shared_memory(
         SharedLayout` in ``meta["layout"]``) so callers can replay it
         through other protocols or cache configurations.
     """
+    wall0, cpu0 = time.perf_counter(), time.process_time()
     if protocol not in ("invalidate", "update"):
         raise SimulationError(f"unknown coherence protocol {protocol!r}")
     if n_procs < 1:
@@ -290,6 +293,11 @@ def run_shared_memory(
     if keep_trace and collect_trace:
         meta["trace"] = tango.trace
         meta["layout"] = layout
+    obs.record_span(
+        "sim.sm", time.perf_counter() - wall0, time.process_time() - cpu0
+    )
+    obs.incr("sim.sm.runs")
+    obs.incr("sim.sm.trace_references", tango.trace.n_references)
     return ParallelRunResult(
         paradigm="shared_memory",
         quality=quality,

@@ -95,6 +95,54 @@ class TestExperimentCommand:
         assert (tmp_path / "x4.json").exists()
         assert "[X4]" in capsys.readouterr().out
 
+    def test_parser_defaults_for_harness_flags(self):
+        args = build_parser().parse_args(["experiment", "all"])
+        assert args.jobs == 1
+        assert args.cache_dir == ".locusroute_cache"
+        assert args.no_cache is False
+        assert args.timeout is None
+
+    def test_jobs_flag_runs_parallel(self, capsys, tmp_path):
+        code = main(
+            ["experiment", "X4", "T6", "--quick", "--jobs", "2",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[X4]" in out and "[T6]" in out
+        assert (tmp_path / "BENCH_harness.json").exists()
+
+    def test_cache_dir_warm_second_run(self, capsys, tmp_path):
+        argv = ["experiment", "X4", "--quick",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert (tmp_path / "cache" / "experiments").exists()
+        assert main(argv) == 0  # warm pass serves from the cache
+        assert "[X4]" in capsys.readouterr().out
+
+    def test_no_cache_flag_writes_nothing(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["experiment", "X4", "--quick", "--no-cache",
+             "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        assert not cache_dir.exists()
+
+    def test_bench_flag_explicit_path(self, capsys, tmp_path):
+        import json
+
+        bench = tmp_path / "bench.json"
+        code = main(
+            ["experiment", "X4", "--quick", "--no-cache",
+             "--bench", str(bench)]
+        )
+        assert code == 0
+        payload = json.loads(bench.read_text())
+        assert payload["schema"] == "bench-harness/1"
+        assert payload["experiments"][0]["exp_id"] == "X4"
+
 
 class TestJsonOutput:
     def test_mp_json(self, capsys):
@@ -158,7 +206,17 @@ class TestErrorBoundary:
     def test_unknown_experiment_clean_error(self, capsys):
         code = main(["experiment", "T99"])
         assert code == 2
-        assert "unknown experiment" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "valid ids" in err and "T1" in err and "X5" in err
+        assert "Traceback" not in err
+
+    def test_unknown_id_mixed_with_valid_runs_nothing(self, capsys):
+        code = main(["experiment", "X4", "NOPE", "--quick"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "NOPE" in captured.err
+        assert "[X4]" not in captured.out  # rejected before any run
 
     def test_corrupt_circuit_file_clean_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"

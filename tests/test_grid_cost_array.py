@@ -57,6 +57,37 @@ class TestPaths:
         cost.remove_path(cells, strict=False)
         assert cost[0, 1] == -1
 
+    def test_apply_remove_delta_round_trip(self):
+        cost = CostArray(3, 10)
+        cells = flat([(0, 1), (1, 2)])
+        cost.apply_path(cells, delta=3)
+        assert cost[0, 1] == 3
+        cost.remove_path(cells, delta=3)
+        assert cost.total_occupancy() == 0
+
+    def test_remove_strict_checks_against_delta(self):
+        """Rip-up of a delta-3 path from a 2-high cell must fail strictly."""
+        cost = CostArray(3, 10)
+        cells = flat([(0, 1)])
+        cost.apply_path(cells, delta=2)
+        with pytest.raises(GridError):
+            cost.remove_path(cells, delta=3)
+        assert cost[0, 1] == 2  # strict failure left the array untouched
+
+    def test_remove_partial_delta_leaves_remainder(self):
+        cost = CostArray(3, 10)
+        cells = flat([(0, 1)])
+        cost.apply_path(cells, delta=5)
+        cost.remove_path(cells, delta=2)
+        assert cost[0, 1] == 3
+
+    def test_remove_delta_non_strict_goes_negative(self):
+        cost = CostArray(3, 10)
+        cells = flat([(0, 1)])
+        cost.apply_path(cells)
+        cost.remove_path(cells, delta=4, strict=False)
+        assert cost[0, 1] == -3
+
     def test_path_cost_sums_entries(self):
         cost = CostArray(3, 10)
         a = flat([(0, 1), (0, 2)])

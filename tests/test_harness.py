@@ -13,6 +13,7 @@ from repro.harness import (
     load_result,
     render_checks,
     render_table,
+    resolve_ids,
     run_all,
     run_experiment,
     save_result,
@@ -108,3 +109,31 @@ class TestRunner:
         out = capsys.readouterr().out
         assert "[X4]" in out
         assert (tmp_path / "x4.json").exists()
+
+    def test_run_all_unknown_id_lists_valid_ids(self):
+        with pytest.raises(ExperimentError) as exc:
+            run_all(["NOPE"], quick=True, echo=False)
+        message = str(exc.value)
+        assert "NOPE" in message
+        for exp_id in sorted(EXPERIMENTS):
+            assert exp_id in message
+
+    def test_run_all_rejects_before_running_anything(self, tmp_path, capsys):
+        with pytest.raises(ExperimentError):
+            run_all(["X4", "BOGUS"], quick=True, out_dir=tmp_path)
+        assert not (tmp_path / "x4.json").exists()
+        assert "[X4]" not in capsys.readouterr().out
+
+    def test_resolve_ids_defaults_to_registry_order(self):
+        assert resolve_ids(None) == list(EXPERIMENTS)
+
+    def test_resolve_ids_uppercases(self):
+        assert resolve_ids(["x4", "t6"]) == ["X4", "T6"]
+
+    def test_run_all_writes_bench_record(self, tmp_path, capsys):
+        run_all(["X4"], quick=True, out_dir=tmp_path)
+        payload = json.loads((tmp_path / "BENCH_harness.json").read_text())
+        assert payload["schema"] == "bench-harness/1"
+        assert payload["totals"]["experiments"] == 1
+        assert payload["experiments"][0]["exp_id"] == "X4"
+        assert payload["experiments"][0]["events_processed"] > 0

@@ -1,0 +1,191 @@
+"""Tests for the content-addressed result cache (harness.cache / simjobs)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.cache import (
+    CACHE_SCHEMA,
+    ResultCache,
+    atomic_write_text,
+    code_fingerprint,
+    jsonify,
+    stable_hash,
+)
+from repro.harness.simjobs import (
+    SimConfig,
+    run_sim_configs,
+    sim_fingerprint,
+    sim_key,
+)
+from repro.obs import telemetry as obs
+from repro.updates import UpdateSchedule
+
+
+def tiny_mp_config(**overrides):
+    """A message passing row small enough for unit tests (<100 ms)."""
+    base = dict(
+        kind="mp",
+        which="bnrE",
+        n_wires=24,
+        schedule=UpdateSchedule(send_rmt_every=2, send_loc_every=10),
+        n_procs=4,
+        iterations=1,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestJsonify:
+    def test_plain_data_passes_through(self):
+        assert jsonify({"a": [1, 2.5, "x", None, True]}) == {
+            "a": [1, 2.5, "x", None, True]
+        }
+
+    def test_numpy_and_tuples_become_plain(self):
+        out = jsonify({"n": np.int64(3), "v": np.array([1, 2]), "t": (1, 2)})
+        assert out == {"n": 3, "v": [1, 2], "t": [1, 2]}
+        json.dumps(out)  # fully serialisable
+
+    def test_non_string_dict_keys_use_repr(self):
+        out = jsonify({(2, 10): "row"})
+        assert out == {"(2, 10)": "row"}
+
+    def test_dataclasses_become_dicts(self):
+        out = jsonify(UpdateSchedule(send_rmt_every=2, send_loc_every=10))
+        assert out["send_rmt_every"] == 2
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        fp = {"a": 1, "b": [1, 2], "c": {"x": (3, 4)}}
+        assert stable_hash(fp) == stable_hash(fp)
+
+    def test_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_any_field_change_changes_hash(self):
+        base = {"a": 1, "b": 2}
+        assert stable_hash(base) != stable_hash({"a": 1, "b": 3})
+        assert stable_hash(base) != stable_hash({"a": 1})
+
+    def test_code_fingerprint_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestSimKey:
+    def test_same_config_same_key(self):
+        assert sim_key(tiny_mp_config()) == sim_key(tiny_mp_config())
+
+    def test_schedule_field_changes_key(self):
+        a = tiny_mp_config()
+        b = tiny_mp_config(
+            schedule=UpdateSchedule(send_rmt_every=2, send_loc_every=20)
+        )
+        assert sim_key(a) != sim_key(b)
+
+    def test_n_procs_changes_key(self):
+        assert sim_key(tiny_mp_config()) != sim_key(tiny_mp_config(n_procs=8))
+
+    def test_circuit_scale_changes_key(self):
+        assert sim_key(tiny_mp_config()) != sim_key(tiny_mp_config(n_wires=30))
+
+    def test_kind_in_fingerprint(self):
+        fp = sim_fingerprint(tiny_mp_config())
+        assert fp["kind"] == "mp" and fp["unit"] == "sim"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            SimConfig(kind="xx")
+
+    def test_mp_without_schedule_rejected(self):
+        with pytest.raises(ExperimentError):
+            SimConfig(kind="mp", schedule=None)
+
+
+class TestResultCache:
+    def test_experiment_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_experiment("k1", {"rows": [1, 2]})
+        payload = cache.get_experiment("k1")
+        assert payload["rows"] == [1, 2]
+        assert payload["schema"] == CACHE_SCHEMA
+
+    def test_experiment_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get_experiment("absent") is None
+
+    def test_corrupt_experiment_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        atomic_write_text(cache.experiment_path("bad"), "{not json")
+        assert cache.get_experiment("bad") is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        atomic_write_text(
+            cache.experiment_path("old"), json.dumps({"schema": -1, "rows": []})
+        )
+        assert cache.get_experiment("old") is None
+
+    def test_sim_round_trip_preserves_numpy(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        obj = {"array": np.arange(5), "n": 3}
+        cache.put_sim("k", obj)
+        out = cache.get_sim("k")
+        np.testing.assert_array_equal(out["array"], np.arange(5))
+
+    def test_truncated_sim_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_sim("k", {"x": 1})
+        path = cache.sim_path("k")
+        path.write_bytes(path.read_bytes()[:10])  # truncate mid-pickle
+        assert cache.get_sim("k") is None
+
+    def test_garbage_sim_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.sim_path("k").parent.mkdir(parents=True, exist_ok=True)
+        cache.sim_path("k").write_bytes(b"\x00\x01 not a pickle")
+        assert cache.get_sim("k") is None
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_experiment("k", {"rows": []})
+        names = [p.name for p in cache.experiment_path("k").parent.iterdir()]
+        assert names == ["k.json"]
+
+
+class TestCachedSimRows:
+    def test_second_run_hits_and_matches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        configs = [tiny_mp_config(), tiny_mp_config(n_procs=8)]
+        first = run_sim_configs(configs, cache=cache)
+        before = obs.snapshot()
+        second = run_sim_configs(configs, cache=cache)
+        delta = obs.snapshot()["counters"]
+        assert (
+            delta.get("cache.sim.hits", 0)
+            - before["counters"].get("cache.sim.hits", 0)
+            == 2
+        )
+        for a, b in zip(first, second):
+            assert a.table_row() == b.table_row()
+            assert a.exec_time_s == b.exec_time_s
+
+    def test_overlapping_sweeps_share_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        shared = tiny_mp_config()
+        run_sim_configs([shared], cache=cache)
+        before = obs.snapshot()["counters"].get("cache.sim.hits", 0)
+        run_sim_configs([shared, tiny_mp_config(n_procs=2)], cache=cache)
+        after = obs.snapshot()["counters"].get("cache.sim.hits", 0)
+        assert after - before == 1  # the shared row hit, the new one ran
+
+    def test_uncached_rows_identical_to_cached(self, tmp_path):
+        config = tiny_mp_config()
+        plain = run_sim_configs([config])[0]
+        cached = run_sim_configs([config], cache=ResultCache(tmp_path))[0]
+        assert plain.table_row() == cached.table_row()

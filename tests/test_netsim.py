@@ -83,6 +83,50 @@ def make_network(n=16):
     return sim, net, deliveries
 
 
+class TestTimingValidation:
+    def test_zero_process_time_is_ideal_network_ablation(self):
+        """process_time_s=0 (free node/network copies) must be accepted."""
+        sim = Simulator()
+        net = WormholeNetwork(
+            sim, MeshTopology(4), lambda d: None, process_time_s=0.0
+        )
+        # latency collapses to the pure wire term: HopTime * (D + L)
+        assert net.uncontended_latency(0, 1, 100) == pytest.approx(
+            HOP_TIME_S * (1 + 100)
+        )
+
+    def test_zero_hop_time_rejected(self):
+        with pytest.raises(NetworkError, match="hop_time_s"):
+            WormholeNetwork(
+                Simulator(), MeshTopology(4), lambda d: None, hop_time_s=0.0
+            )
+
+    def test_negative_hop_time_rejected(self):
+        with pytest.raises(NetworkError, match="hop_time_s"):
+            WormholeNetwork(
+                Simulator(), MeshTopology(4), lambda d: None, hop_time_s=-1e-9
+            )
+
+    def test_negative_process_time_rejected(self):
+        with pytest.raises(NetworkError, match="process_time_s"):
+            WormholeNetwork(
+                Simulator(),
+                MeshTopology(4),
+                lambda d: None,
+                process_time_s=-1e-9,
+            )
+
+    def test_messages_flow_with_zero_process_time(self):
+        sim = Simulator()
+        deliveries = []
+        net = WormholeNetwork(
+            sim, MeshTopology(4), deliveries.append, process_time_s=0.0
+        )
+        net.send(Message(0, 1, 50, "payload"))
+        sim.run()
+        assert len(deliveries) == 1
+
+
 class TestLatencyFormula:
     def test_uncontended_latency_matches_paper(self):
         _, net, _ = make_network()
@@ -169,3 +213,17 @@ class TestStats:
         sim.run()
         assert net.stats.mean_latency_s > 0
         assert net.stats.max_latency_s >= net.stats.mean_latency_s
+
+    def test_rates_over_elapsed_time(self):
+        sim, net, _ = make_network()
+        net.send(Message(0, 1, 100, "a"))
+        net.send(Message(0, 2, 50, "b"))
+        sim.run()
+        rates = net.stats.rates(2.0)
+        assert rates["messages_per_s"] == pytest.approx(1.0)
+        assert rates["bytes_per_s"] == pytest.approx(net.stats.total_bytes / 2.0)
+
+    def test_rates_rejects_non_positive_elapsed(self):
+        _, net, _ = make_network()
+        with pytest.raises(ValueError):
+            net.stats.rates(0.0)

@@ -1,0 +1,85 @@
+"""Tests for the lightweight telemetry module (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs import telemetry as obs
+
+
+class TestTelemetry:
+    def test_counters_accumulate(self):
+        tel = Telemetry()
+        tel.incr("x")
+        tel.incr("x", 4)
+        assert tel.count("x") == 5
+        assert tel.count("absent") == 0
+
+    def test_span_records_wall_and_cpu(self):
+        tel = Telemetry()
+        with tel.span("work"):
+            sum(range(1000))
+        snap = tel.snapshot()
+        assert snap["spans"]["work"]["calls"] == 1
+        assert snap["spans"]["work"]["wall_s"] >= 0.0
+
+    def test_rate(self):
+        tel = Telemetry()
+        tel.incr("events", 100)
+        tel.record_span("run", wall_s=2.0, cpu_s=1.0)
+        assert tel.rate("events", "run") == pytest.approx(50.0)
+
+    def test_rate_without_span_is_none(self):
+        tel = Telemetry()
+        tel.incr("events", 10)
+        assert tel.rate("events", "missing") is None
+
+    def test_merge_sums_counters_and_spans(self):
+        a, b = Telemetry(), Telemetry()
+        a.incr("x", 1)
+        b.incr("x", 2)
+        b.incr("y", 3)
+        b.record_span("s", 1.0, 0.5)
+        a.merge(b.snapshot())
+        assert a.count("x") == 3
+        assert a.count("y") == 3
+        assert a.snapshot()["spans"]["s"]["calls"] == 1
+
+    def test_merge_empty_snapshot_noop(self):
+        tel = Telemetry()
+        tel.incr("x")
+        tel.merge({})
+        assert tel.count("x") == 1
+
+    def test_reset(self):
+        tel = Telemetry()
+        tel.incr("x")
+        tel.record_span("s", 1.0, 1.0)
+        tel.reset()
+        assert tel.snapshot() == {"counters": {}, "spans": {}}
+
+    def test_snapshot_is_detached(self):
+        tel = Telemetry()
+        tel.incr("x")
+        snap = tel.snapshot()
+        tel.incr("x")
+        assert snap["counters"]["x"] == 1
+
+
+class TestGlobalTelemetry:
+    def test_module_helpers_hit_the_global(self):
+        before = obs.get_telemetry().count("test.counter")
+        obs.incr("test.counter", 2)
+        assert obs.get_telemetry().count("test.counter") == before + 2
+
+    def test_sim_run_counts_events(self):
+        from repro.events import Simulator
+
+        sim = Simulator()
+        fired = []
+        sim.at(0.0, lambda: fired.append(1))
+        before = obs.get_telemetry().count("sim.events")
+        sim.run()
+        assert fired == [1]
+        assert obs.get_telemetry().count("sim.events") == before + 1
