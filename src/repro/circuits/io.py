@@ -78,6 +78,8 @@ def load_json(path: PathLike) -> Circuit:
     """Read a circuit previously written by :func:`save_json`."""
     try:
         data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise CircuitError(f"cannot read {path}: {exc.strerror or exc}") from exc
     except json.JSONDecodeError as exc:
         raise CircuitError(f"{path} is not valid JSON: {exc}") from exc
     return circuit_from_dict(data)

@@ -13,6 +13,9 @@ Installed as ``locusroute`` (also ``python -m repro``).  Subcommands:
 ``experiment``
     Run paper experiments (T1-T6, X1-X5, or ``all``) and print the
     paper-vs-measured tables.
+``verify``
+    Run the consistency verification sweep: every invariant checker
+    plus the three-way differential oracle (see docs/VERIFICATION.md).
 
 Examples
 --------
@@ -24,6 +27,7 @@ Examples
     locusroute sm --name bnrE --line-sizes 4 8 16 32
     locusroute experiment T1 T6
     locusroute experiment all --quick --out results/
+    locusroute verify --quick
 """
 
 from __future__ import annotations
@@ -103,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="interrupt-driven request reception (paper §4.2)",
     )
+    p_mp.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run the repro.verify invariant checkers alongside the simulation",
+    )
     p_mp.add_argument("--json", action="store_true", help="print a JSON summary")
 
     p_dyn = sub.add_parser("dynamic", help="dynamic wire assignment (§4.2)")
@@ -125,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["invalidate", "update"],
         default="invalidate",
         help="coherence protocol for the traffic replay",
+    )
+    p_sm.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run the repro.verify invariant checkers alongside the simulation",
     )
     p_sm.add_argument("--json", action="store_true", help="print a JSON summary")
 
@@ -164,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: into --out when given)",
     )
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="invariant checkers + three-way differential oracle",
+    )
+    _add_circuit_args(p_verify)
+    p_verify.add_argument(
+        "--quick", action="store_true", help="CI-scale circuit and processor count"
+    )
+    p_verify.add_argument("--procs", type=int, default=None)
+    p_verify.add_argument("--iterations", type=int, default=None)
+    p_verify.add_argument("--json", action="store_true", help="print a JSON report")
+
     return parser
 
 
@@ -193,6 +219,32 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verification_exit(result, args: argparse.Namespace) -> int:
+    """Exit status for a run that may carry a verification report.
+
+    Without ``--check-invariants`` (or when every check passed) the run
+    exits 0; violations print to stderr (unless ``--json`` already
+    carried them) and exit 1.
+    """
+    if not getattr(args, "check_invariants", False):
+        return 0
+    verification = result.meta.get("verification", {})
+    if verification.get("ok", True):
+        if not args.json:
+            print(f"invariants: {verification.get('total_checks', 0)} checks, 0 violations")
+        return 0
+    if not args.json:
+        for v in verification.get("violations", []):
+            parts = [f"VIOLATION [{v['invariant']}] {v['message']}"]
+            if "cell" in v:
+                parts.append(f"cell=(c={v['cell'][0]}, x={v['cell'][1]})")
+            for key in ("wire", "proc", "event_time_s"):
+                if key in v:
+                    parts.append(f"{key}={v[key]}")
+            print("  ".join(parts), file=sys.stderr)
+    return 1
+
+
 def _cmd_mp(args: argparse.Namespace) -> int:
     circuit = _get_circuit(args)
     schedule = UpdateSchedule(
@@ -205,18 +257,22 @@ def _cmd_mp(args: argparse.Namespace) -> int:
         interrupt_reception=args.interrupts,
     )
     result = run_message_passing(
-        circuit, schedule, n_procs=args.procs, iterations=args.iterations
+        circuit,
+        schedule,
+        n_procs=args.procs,
+        iterations=args.iterations,
+        check_invariants=args.check_invariants,
     )
     if args.json:
         print(json.dumps(result.summary_dict(), indent=1))
-        return 0
+        return _verification_exit(result, args)
     print(f"{circuit.describe()}")
     print(f"schedule: {schedule.describe()}  processors: {args.procs}")
     for key, value in result.table_row().items():
         print(f"  {key}: {value}")
     print(f"  messages: {result.network.n_messages}")
     print(f"  mean latency: {result.network.mean_latency_s * 1e6:.1f} us")
-    return 0
+    return _verification_exit(result, args)
 
 
 def _cmd_sm(args: argparse.Namespace) -> int:
@@ -229,10 +285,11 @@ def _cmd_sm(args: argparse.Namespace) -> int:
         line_size=primary,
         extra_line_sizes=extra,
         protocol=args.protocol,
+        check_invariants=args.check_invariants,
     )
     if args.json:
         print(json.dumps(result.summary_dict(), indent=1))
-        return 0
+        return _verification_exit(result, args)
     print(f"{circuit.describe()}")
     print(f"processors: {args.procs}  (dynamic distributed loop)")
     for key, value in result.table_row().items():
@@ -242,7 +299,7 @@ def _cmd_sm(args: argparse.Namespace) -> int:
             f"  line {ls:2d}B: {stats['mbytes']:.3f} MB "
             f"(write-caused {stats['write_caused_fraction']:.0%})"
         )
-    return 0
+    return _verification_exit(result, args)
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
@@ -280,6 +337,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import run_verification
+
+    circuit = None
+    if args.load or args.wires is not None or args.name.lower() not in ("bnre", "bnre-like"):
+        circuit = _get_circuit(args)
+    run = run_verification(
+        quick=args.quick,
+        circuit=circuit,
+        n_procs=args.procs,
+        iterations=args.iterations,
+    )
+    if args.json:
+        print(json.dumps(run.as_dict(), indent=1))
+    else:
+        print(run.render())
+    return 0 if run.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -295,6 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sm": _cmd_sm,
         "dynamic": _cmd_dynamic,
         "experiment": _cmd_experiment,
+        "verify": _cmd_verify,
     }
     try:
         return handlers[args.command](args)

@@ -27,6 +27,7 @@ class Simulator:
         self._queue = EventQueue()
         self._now = 0.0
         self._steps = 0
+        self._probes: list = []
 
     @property
     def now(self) -> float:
@@ -51,6 +52,17 @@ class Simulator:
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         self._queue.cancel(event)
+
+    def add_probe(self, action: Callable[[], Any], interval: int) -> None:
+        """Call *action* every *interval* executed events.
+
+        Probes run after the triggering event's action, at the same
+        virtual time.  The loop pays a single truthiness check per event
+        when no probes are registered.
+        """
+        if interval <= 0:
+            raise SimulationError(f"probe interval must be positive, got {interval}")
+        self._probes.append((interval, action))
 
     def run(
         self,
@@ -83,5 +95,9 @@ class Simulator:
                 if self._steps > max_steps:
                     raise SimulationError(f"simulation exceeded {max_steps} events")
                 event.action()
+                if self._probes:
+                    for interval, probe in self._probes:
+                        if self._steps % interval == 0:
+                            probe()
         finally:
             obs.incr("sim.events", self._steps - steps_before)

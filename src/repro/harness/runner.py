@@ -248,6 +248,12 @@ def write_bench_record(
                     "sim.misses",
                 )
             },
+            "verify": {
+                "checks": int(_counter_delta(telemetry_before, "verify.checks")),
+                "violations": int(
+                    _counter_delta(telemetry_before, "verify.violations")
+                ),
+            },
         },
     }
     return atomic_write_text(path, json.dumps(jsonify(payload), indent=1))

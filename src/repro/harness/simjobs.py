@@ -76,6 +76,8 @@ class SimConfig:
     extra_line_sizes: Tuple[int, ...] = ()
     protocol: str = "invalidate"
     collect_trace: bool = True
+    #: Run the repro.verify invariant checkers alongside the simulation.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("mp", "sm"):
@@ -122,6 +124,7 @@ def sim_fingerprint(config: SimConfig) -> Dict[str, object]:
         "extra_line_sizes": config.extra_line_sizes,
         "protocol": config.protocol,
         "collect_trace": config.collect_trace,
+        "check_invariants": config.check_invariants,
         "cost_model": cost_model_fingerprint(DEFAULT_COST_MODEL),
         "code": code_fingerprint(),
     }
@@ -155,6 +158,7 @@ def run_sim_config(config: SimConfig) -> ParallelRunResult:
             config.schedule,
             n_procs=config.n_procs,
             iterations=config.iterations,
+            check_invariants=config.check_invariants,
         )
     return run_shared_memory(
         circuit,
@@ -164,6 +168,7 @@ def run_sim_config(config: SimConfig) -> ParallelRunResult:
         extra_line_sizes=config.extra_line_sizes,
         protocol=config.protocol,
         collect_trace=config.collect_trace,
+        check_invariants=config.check_invariants,
     )
 
 

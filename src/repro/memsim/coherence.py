@@ -130,6 +130,18 @@ class WriteBackInvalidate:
         self._ever_held[lines] |= bit
 
     # ------------------------------------------------------------------
+    def line_arrays(self, lines: np.ndarray):
+        """Copies of ``(sharers, dirty_owner, ever_held)`` for *lines*.
+
+        The verification layer snapshots these around an access burst to
+        check the observed transition against the protocol's legal edges.
+        """
+        return (
+            self._sharers[lines].copy(),
+            self._dirty_owner[lines].copy(),
+            self._ever_held[lines].copy(),
+        )
+
     def line_state(self, line: int) -> dict:
         """Debug/introspection view of one line's state."""
         return {
@@ -141,10 +153,21 @@ class WriteBackInvalidate:
 
 
 def simulate_trace(
-    trace: ReferenceTrace, n_procs: int, address_map: AddressMap
+    trace: ReferenceTrace, n_procs: int, address_map: AddressMap, checker=None
 ) -> CoherenceStats:
-    """Replay *trace* in global time order; return the traffic totals."""
+    """Replay *trace* in global time order; return the traffic totals.
+
+    ``checker`` (a ``verify.CoherenceInvariantChecker``) is called as
+    ``checker.pre(protocol, record)`` / ``checker.post(protocol, record)``
+    around every access burst when supplied.
+    """
     protocol = WriteBackInvalidate(n_procs, address_map)
-    for record in trace.sorted_records():
-        protocol.access(record.proc, record.flat_cells, record.is_write)
+    if checker is None:
+        for record in trace.sorted_records():
+            protocol.access(record.proc, record.flat_cells, record.is_write)
+    else:
+        for record in trace.sorted_records():
+            checker.pre(protocol, record)
+            protocol.access(record.proc, record.flat_cells, record.is_write)
+            checker.post(protocol, record)
     return protocol.stats

@@ -23,6 +23,7 @@ class NetworkStats:
     n_messages: int = 0
     total_bytes: int = 0
     total_hop_bytes: int = 0  #: bytes x hops (link-level load)
+    total_hops: int = 0  #: summed route lengths (header-flit link crossings)
     total_latency_s: float = 0.0
     max_latency_s: float = 0.0
     bytes_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -38,6 +39,7 @@ class NetworkStats:
         self.n_messages += 1
         self.total_bytes += msg.length_bytes
         self.total_hop_bytes += msg.length_bytes * delivery.hops
+        self.total_hops += delivery.hops
         self.total_latency_s += delivery.latency
         self.max_latency_s = max(self.max_latency_s, delivery.latency)
         kind = getattr(msg.payload, "kind", None)
@@ -77,6 +79,7 @@ class NetworkStats:
             "total_bytes": self.total_bytes,
             "mbytes": self.mbytes,
             "total_hop_bytes": self.total_hop_bytes,
+            "total_hops": self.total_hops,
             "mean_latency_s": self.mean_latency_s,
             "max_latency_s": self.max_latency_s,
             "bytes_by_kind": dict(self.bytes_by_kind),

@@ -88,6 +88,13 @@ class WormholeNetwork:
         self._link_free_at = np.zeros(topology.n_links, dtype=np.float64)
         self._link_busy_s = np.zeros(topology.n_links, dtype=np.float64)
         self.stats = NetworkStats()
+        # Conservation counters (independent of ``stats`` so the
+        # verification layer can cross-check the two accounts).
+        self.messages_injected = 0
+        self.messages_delivered = 0
+        self.bytes_injected = 0
+        self.bytes_delivered = 0
+        self.in_flight = 0
 
     def link_utilization(self, elapsed_s: float) -> np.ndarray:
         """Per-link busy fraction over *elapsed_s* seconds of virtual time.
@@ -141,5 +148,14 @@ class WormholeNetwork:
             message=message, inject_time=t_inject, arrive_time=arrive, hops=hops
         )
         self.stats.record(delivery)
-        self.sim.at(arrive, lambda d=delivery: self.on_deliver(d))
+        self.messages_injected += 1
+        self.bytes_injected += length
+        self.in_flight += 1
+        self.sim.at(arrive, lambda d=delivery: self._deliver(d))
         return delivery
+
+    def _deliver(self, delivery: Delivery) -> None:
+        self.messages_delivered += 1
+        self.bytes_delivered += delivery.message.length_bytes
+        self.in_flight -= 1
+        self.on_deliver(delivery)

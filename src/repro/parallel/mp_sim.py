@@ -66,6 +66,7 @@ def run_message_passing(
     assignment: Optional[Assignment] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     track_divergence: bool = False,
+    check_invariants: bool = False,
 ) -> ParallelRunResult:
     """Simulate the message passing LocusRoute on *circuit*.
 
@@ -91,6 +92,14 @@ def run_message_passing(
         max per-cell-sum distance and a per-node breakdown).  This is the
         mechanism behind every quality result in the paper — nodes route
         against views that have drifted from reality.
+    check_invariants:
+        Run the :mod:`repro.verify` checkers alongside the simulation:
+        cost-array conservation at every commit and end of run, wormhole
+        flit conservation / in-flight accounting (probed every
+        ``PROBE_INTERVAL`` kernel events and closed out at drain), and
+        end-of-run delta-replica convergence against the ground truth.
+        The report lands in ``meta["verification"]``; its counters are
+        flushed into telemetry.
     """
     wall0, cpu0 = time.perf_counter(), time.process_time()
     shape = proc_grid_shape(n_procs)
@@ -103,7 +112,23 @@ def run_message_passing(
     sim = Simulator()
     nodes: List[MPNode] = []
 
+    monitor = None
+    net_monitor = None
+    report = None
+    if check_invariants:
+        # Imported lazily: repro.verify's oracle imports this module.
+        from ..verify.invariants import (
+            PROBE_INTERVAL,
+            CostConservationMonitor,
+            NetworkInvariantMonitor,
+        )
+        from ..verify.violations import VerificationReport
+
+        report = VerificationReport()
+
     def on_deliver(delivery: Delivery) -> None:
+        if net_monitor is not None:
+            net_monitor.on_delivery(delivery)
         packet: UpdatePacket = delivery.message.payload
         nodes[delivery.message.dst].deliver(packet, delivery.arrive_time)
 
@@ -121,6 +146,11 @@ def run_message_passing(
     final_paths: Dict[int, RoutePath] = {}
     wire_prices: Dict[int, int] = {}
 
+    if report is not None:
+        monitor = CostConservationMonitor(report, truth, engine="message_passing")
+        net_monitor = NetworkInvariantMonitor(report, network)
+        sim.add_probe(net_monitor.probe, PROBE_INTERVAL)
+
     def send_packet(packet: UpdatePacket, inject_time: float) -> None:
         message = Message(
             src=packet.src,
@@ -132,6 +162,8 @@ def run_message_passing(
 
     def on_ripup(proc: int, wire_idx: int, path: RoutePath, time: float) -> None:
         truth.remove_path(path.flat_cells, strict=True)
+        if monitor is not None:
+            monitor.on_ripup(wire_idx, path, time)
 
     divergence_sum = np.zeros(n_procs, dtype=np.float64)
     divergence_max = np.zeros(n_procs, dtype=np.float64)
@@ -143,6 +175,8 @@ def run_message_passing(
         wire_prices[wire_idx] = truth.path_cost(path.flat_cells)
         truth.apply_path(path.flat_cells)
         final_paths[wire_idx] = path
+        if monitor is not None:
+            monitor.on_commit(wire_idx, path, time)
         if track_divergence:
             # Decision-relevant staleness: the error of the node's view
             # over the cells of the route it just chose (both view and
@@ -205,6 +239,12 @@ def run_message_passing(
         (n.finish_time_s for n in nodes if not math.isnan(n.finish_time_s)),
         default=0.0,
     )
+    if report is not None:
+        from ..verify.invariants import check_replica_convergence
+
+        monitor.at_end(final_paths, exec_time)
+        net_monitor.at_end(sim.now)
+        check_replica_convergence(report, nodes, truth, sim.now)
     quality = QualityReport(
         circuit_height=circuit_height(truth),
         occupancy_factor=int(sum(wire_prices.values())),
@@ -244,6 +284,12 @@ def run_message_passing(
             "max_l1": float(divergence_max.max()),
             "per_proc_mean_l1": per_proc.tolist(),
         }
+    if report is not None:
+        from ..verify.violations import RunVerification
+
+        meta["verification"] = report.as_dict()
+        meta["verification_report"] = RunVerification(report, monitor.commit_times)
+        report.flush_telemetry()
     obs.record_span(
         "sim.mp", time.perf_counter() - wall0, time.process_time() - cpu0
     )

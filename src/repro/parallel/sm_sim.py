@@ -73,6 +73,7 @@ def run_shared_memory(
     trace_chunks: int = 4,
     protocol: str = "invalidate",
     keep_trace: bool = False,
+    check_invariants: bool = False,
 ) -> ParallelRunResult:
     """Simulate the shared memory LocusRoute on *circuit*.
 
@@ -104,6 +105,12 @@ def run_shared_memory(
         ``meta["trace"]`` (and the :class:`~repro.memsim.tango.
         SharedLayout` in ``meta["layout"]``) so callers can replay it
         through other protocols or cache configurations.
+    check_invariants:
+        Run the :mod:`repro.verify` checkers alongside the simulation
+        (cost-array conservation at every commit, barrier and end of
+        run; MSI transition legality during the ``"invalidate"`` trace
+        replays).  The report lands in ``meta["verification"]``; its
+        counters are flushed into telemetry.
     """
     wall0, cpu0 = time.perf_counter(), time.process_time()
     if protocol not in ("invalidate", "update"):
@@ -131,6 +138,16 @@ def run_shared_memory(
     paths: Dict[int, RoutePath] = {}
     wire_prices: Dict[int, int] = {}
     wire_router = np.zeros(circuit.n_wires, dtype=np.int64)
+
+    monitor = None
+    report = None
+    if check_invariants:
+        # Imported lazily: repro.verify's oracle imports this module.
+        from ..verify.invariants import CostConservationMonitor
+        from ..verify.violations import VerificationReport
+
+        report = VerificationReport()
+        monitor = CostConservationMonitor(report, truth, engine="shared_memory")
 
     clocks = [0.0] * n_procs
     counters = [WorkCounter() for _ in range(n_procs)]
@@ -174,6 +191,8 @@ def run_shared_memory(
         if old is not None:
             truth.remove_path(old.flat_cells, strict=True)
             tango.record_ripup(t0, proc, wire_idx, old)
+            if monitor is not None:
+                monitor.on_ripup(wire_idx, old, t0)
             ripup_units = COMMIT_CELL_UNITS * old.n_cells
             counters[proc].add_commit(old.n_cells)
 
@@ -199,6 +218,8 @@ def run_shared_memory(
         wire_prices[wire_idx] = truth.path_cost(path.flat_cells)
         truth.apply_path(path.flat_cells)
         tango.record_commit(time, proc, wire_idx, path)
+        if monitor is not None:
+            monitor.on_commit(wire_idx, path, time)
         paths[wire_idx] = path
         wire_router[wire_idx] = proc
         wires_routed[proc] += 1
@@ -213,6 +234,8 @@ def run_shared_memory(
         state["at_barrier"] = 0
         state["iteration"] += 1
         state["finish_time"] = release
+        if monitor is not None:
+            monitor.at_quiescence(release, f"barrier {state['iteration']}")
         if state["iteration"] >= iterations:
             return
         if loop is not None:
@@ -239,6 +262,9 @@ def run_shared_memory(
             f"{circuit.n_wires * iterations}"
         )
 
+    if monitor is not None:
+        monitor.at_end(paths, state["finish_time"])
+
     quality = QualityReport(
         circuit_height=circuit_height(truth),
         occupancy_factor=int(sum(wire_prices.values())),
@@ -257,10 +283,15 @@ def run_shared_memory(
                 ls,
                 extra_words=layout.total_words - layout.array_words,
             )
-            simulate = (
-                simulate_trace if protocol == "invalidate" else simulate_trace_write_update
-            )
-            by_line[ls] = simulate(tango.trace, n_procs, amap)
+            if protocol == "invalidate":
+                checker = None
+                if report is not None:
+                    from ..verify.invariants import CoherenceInvariantChecker
+
+                    checker = CoherenceInvariantChecker(report)
+                by_line[ls] = simulate_trace(tango.trace, n_procs, amap, checker=checker)
+            else:
+                by_line[ls] = simulate_trace_write_update(tango.trace, n_procs, amap)
         coherence = by_line[line_size]
 
     summaries = [
@@ -293,6 +324,12 @@ def run_shared_memory(
     if keep_trace and collect_trace:
         meta["trace"] = tango.trace
         meta["layout"] = layout
+    if report is not None:
+        from ..verify.violations import RunVerification
+
+        meta["verification"] = report.as_dict()
+        meta["verification_report"] = RunVerification(report, monitor.commit_times)
+        report.flush_telemetry()
     obs.record_span(
         "sim.sm", time.perf_counter() - wall0, time.process_time() - cpu0
     )

@@ -1,0 +1,260 @@
+"""The differential oracle between the two simulators.
+
+Runs the same circuit and schedule through the sequential reference,
+the shared memory simulation, and the message passing simulation, and
+cross-checks the properties that must agree *regardless of consistency
+regime* — the point of the paper is that the two parallel
+implementations do the same routing work under different consistency
+machinery, so any divergence in these properties is a bug, not a
+finding:
+
+- every engine routes exactly the same set of wires;
+- every routed path covers all of its wire's pins;
+- every engine's final cost array is exactly the union of its final
+  paths (conservation — checked per engine, with the first differing
+  cell, the earliest wire covering it, and that wire's commit
+  timestamp reported on failure);
+- the per-engine invariant checkers (coherence legality, flit
+  conservation, replica convergence) all pass.
+
+Quality metrics (circuit height, occupancy) legitimately differ between
+engines — that divergence is the paper's result, so the oracle reports
+them side by side but never fails on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.model import Circuit
+from ..parallel.mp_sim import run_message_passing
+from ..parallel.sm_sim import run_shared_memory
+from ..route.engine import SequentialRouter
+from ..updates.schedule import UpdateSchedule
+from .invariants import check_truth_is_path_union
+from .violations import RunVerification, VerificationReport
+
+__all__ = ["Divergence", "OracleReport", "run_differential_oracle"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One structured cross-engine divergence (never a bare assert)."""
+
+    kind: str  #: "wire-set", "pin-coverage", "conservation", "invariant"
+    engines: Tuple[str, ...]  #: the engine(s) exhibiting the divergence
+    message: str
+    cell: Optional[Tuple[int, int]] = None
+    wire: Optional[int] = None
+    event_time_s: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "engines": list(self.engines),
+            "message": self.message,
+        }
+        for name in ("cell", "wire", "event_time_s"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def describe(self) -> str:
+        parts = [f"[{self.kind}] {'/'.join(self.engines)}: {self.message}"]
+        if self.cell is not None:
+            parts.append(f"first differing cell=(c={self.cell[0]}, x={self.cell[1]})")
+        if self.wire is not None:
+            parts.append(f"wire={self.wire}")
+        if self.event_time_s is not None:
+            parts.append(f"t={self.event_time_s:.6g}s")
+        return "  ".join(parts)
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one three-way differential run."""
+
+    quality: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    divergences: List[Divergence] = field(default_factory=list)
+    verification: VerificationReport = field(default_factory=VerificationReport)
+
+    @property
+    def ok(self) -> bool:
+        """True when no divergence was found and all invariants held."""
+        return not self.divergences and self.verification.ok
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "quality": self.quality,
+            "divergences": [d.as_dict() for d in self.divergences],
+            "verification": self.verification.as_dict(),
+        }
+
+    def render(self) -> str:
+        lines = ["differential oracle: " + ("OK" if self.ok else "DIVERGED")]
+        for engine, row in self.quality.items():
+            cells = "  ".join(f"{k}={v}" for k, v in row.items())
+            lines.append(f"  {engine:16s} {cells}")
+        for divergence in self.divergences:
+            lines.append(f"  DIVERGENCE {divergence.describe()}")
+        lines.append(self.verification.render())
+        return "\n".join(lines)
+
+
+#: Which Divergence.kind a violated invariant maps to.
+_KIND_BY_INVARIANT = {
+    "wire-set": "wire-set",
+    "pin-coverage": "pin-coverage",
+    "cost-conservation": "conservation",
+}
+
+
+def run_differential_oracle(
+    circuit: Circuit,
+    schedule: Optional[UpdateSchedule] = None,
+    n_procs: int = 4,
+    iterations: int = 2,
+    line_size: int = 8,
+) -> OracleReport:
+    """Run the three engines on *circuit* and cross-check them.
+
+    ``schedule`` defaults to the paper's sender-initiated (2, 10)
+    configuration.  Both parallel runs execute with their invariant
+    checkers enabled; their violations land in the returned report's
+    ``verification`` and make ``ok`` false.
+    """
+    if schedule is None:
+        schedule = UpdateSchedule.sender_initiated(2, 10)
+    report = OracleReport()
+
+    seq = SequentialRouter(circuit, iterations=iterations).run()
+    sm = run_shared_memory(
+        circuit,
+        n_procs=n_procs,
+        iterations=iterations,
+        line_size=line_size,
+        check_invariants=True,
+    )
+    mp = run_message_passing(
+        circuit,
+        schedule,
+        n_procs=n_procs,
+        iterations=iterations,
+        check_invariants=True,
+    )
+
+    engines = {
+        "sequential": (seq.paths, seq.cost),
+        "shared_memory": (sm.paths, sm.truth),
+        "message_passing": (mp.paths, mp.truth),
+    }
+    report.quality = {
+        "sequential": {
+            "ckt_height": seq.quality.circuit_height,
+            "occupancy": seq.quality.occupancy_factor,
+        },
+        "shared_memory": {
+            "ckt_height": sm.quality.circuit_height,
+            "occupancy": sm.quality.occupancy_factor,
+            "time_s": round(sm.exec_time_s, 6),
+        },
+        "message_passing": {
+            "ckt_height": mp.quality.circuit_height,
+            "occupancy": mp.quality.occupancy_factor,
+            "time_s": round(mp.exec_time_s, 6),
+        },
+    }
+
+    # Fold the parallel runs' invariant reports in (per-commit
+    # conservation, coherence legality, flit conservation, replica
+    # convergence); each checked-run violation becomes a divergence.
+    commit_times_by_engine: Dict[str, Dict[int, float]] = {}
+    for engine, result in (("shared_memory", sm), ("message_passing", mp)):
+        run_ver = result.meta.get("verification_report")
+        if not isinstance(run_ver, RunVerification):
+            continue
+        commit_times_by_engine[engine] = run_ver.commit_times
+        report.verification.merge(run_ver.report)
+        for violation in run_ver.report.violations:
+            message = violation.message
+            if message.startswith(f"{engine}: "):
+                message = message[len(engine) + 2 :]
+            report.divergences.append(
+                Divergence(
+                    kind=_KIND_BY_INVARIANT.get(violation.invariant, "invariant"),
+                    engines=(engine,),
+                    message=message,
+                    cell=violation.cell,
+                    wire=violation.wire,
+                    event_time_s=violation.event_time_s,
+                )
+            )
+
+    # The oracle's own cross-engine checks accumulate here; violations
+    # are mirrored as divergences below.  (The simulators flush their
+    # run reports' telemetry themselves; this one is flushed here.)
+    own = VerificationReport()
+
+    # 1. identical wire sets everywhere
+    expected_wires = set(range(circuit.n_wires))
+    for engine, (paths, _) in engines.items():
+        missing = expected_wires - set(paths)
+        extra = set(paths) - expected_wires
+        own.check(
+            "wire-set",
+            not missing and not extra,
+            f"{engine}: routed wire set mismatch "
+            f"(missing={sorted(missing)[:5]}, extra={sorted(extra)[:5]})",
+            wire=min(missing | extra) if (missing or extra) else None,
+        )
+
+    # 2. every path covers its wire's pins
+    for engine, (paths, _) in engines.items():
+        for wire_idx in sorted(paths):
+            cells = set(paths[wire_idx].flat_cells.tolist())
+            bad_pin = next(
+                (
+                    pin
+                    for pin in circuit.wire(wire_idx).pins
+                    if pin.channel * circuit.n_grids + pin.x not in cells
+                ),
+                None,
+            )
+            own.check(
+                "pin-coverage",
+                bad_pin is None,
+                f"{engine}: routed path misses pin"
+                + (f" ({bad_pin.channel}, {bad_pin.x})" if bad_pin else ""),
+                cell=None if bad_pin is None else (bad_pin.channel, bad_pin.x),
+                wire=wire_idx,
+            )
+
+    # 3. per-engine conservation: truth == union of final paths
+    for engine, (paths, truth) in engines.items():
+        check_truth_is_path_union(
+            own,
+            truth,
+            paths,
+            commit_times=commit_times_by_engine.get(engine),
+            engine=engine,
+        )
+
+    for violation in own.violations:
+        # The engine name is the message prefix by construction.
+        engine, _, message = violation.message.partition(": ")
+        report.divergences.append(
+            Divergence(
+                kind=_KIND_BY_INVARIANT.get(violation.invariant, "invariant"),
+                engines=(engine,),
+                message=message,
+                cell=violation.cell,
+                wire=violation.wire,
+                event_time_s=violation.event_time_s,
+            )
+        )
+    own.flush_telemetry()
+    report.verification.merge(own)
+    return report

@@ -13,6 +13,22 @@ from repro.circuits import Circuit, Pin, Wire, bnre_like, tiny_test_circuit
 from repro.grid import CostArray, RegionMap
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/ fixtures instead of comparing "
+        "(run after an intentional behaviour change, then review the diff)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite the golden fixtures."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture
 def tiny_circuit() -> Circuit:
     """A 24-wire, 4x40 circuit for fast routing tests."""

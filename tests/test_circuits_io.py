@@ -34,6 +34,10 @@ class TestJsonRoundTrip:
         with pytest.raises(CircuitError):
             circuit_from_dict({"name": "x"})
 
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CircuitError, match="cannot read"):
+            load_json(tmp_path / "nope.json")
+
     def test_bad_pin_payload_raises(self):
         data = {
             "name": "x",

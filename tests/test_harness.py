@@ -137,3 +137,4 @@ class TestRunner:
         assert payload["totals"]["experiments"] == 1
         assert payload["experiments"][0]["exp_id"] == "X4"
         assert payload["experiments"][0]["events_processed"] > 0
+        assert payload["totals"]["verify"] == {"checks": 0, "violations": 0}

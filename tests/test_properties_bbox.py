@@ -1,0 +1,120 @@
+"""Property-based tests for BBox algebra (hypothesis).
+
+Update packets carry bounding boxes (paper §4.3.1); the protocol
+machinery leans on union/intersect/contains being a correct interval
+algebra.  Properties are checked against the point-set semantics: a box
+IS the set of cells it contains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GridError
+from repro.grid.bbox import BBox
+
+COORD = st.integers(0, 12)
+
+
+@st.composite
+def boxes(draw):
+    c_lo, c_hi = sorted((draw(COORD), draw(COORD)))
+    x_lo, x_hi = sorted((draw(COORD), draw(COORD)))
+    return BBox(c_lo, x_lo, c_hi, x_hi)
+
+
+def cell_set(box: BBox) -> set:
+    return set(box.cells())
+
+
+@given(boxes())
+def test_area_and_cells_agree(a):
+    cells = list(a.cells())
+    assert len(cells) == a.area == a.height * a.width
+    assert all(a.contains(c, x) for c, x in cells)
+
+
+@given(boxes(), COORD, COORD)
+def test_contains_matches_point_set(a, c, x):
+    assert a.contains(c, x) == ((c, x) in cell_set(a))
+
+
+@given(boxes(), boxes())
+def test_union_is_smallest_cover(a, b):
+    u = a.union(b)
+    assert cell_set(a) <= cell_set(u)
+    assert cell_set(b) <= cell_set(u)
+    # minimality: every boundary row/column of the union touches a or b
+    assert u.c_lo == min(a.c_lo, b.c_lo)
+    assert u.c_hi == max(a.c_hi, b.c_hi)
+    assert u.x_lo == min(a.x_lo, b.x_lo)
+    assert u.x_hi == max(a.x_hi, b.x_hi)
+
+
+@given(boxes(), boxes())
+def test_union_commutative_and_idempotent(a, b):
+    assert a.union(b) == b.union(a)
+    assert a.union(a) == a
+
+
+@given(boxes(), boxes())
+def test_intersect_matches_point_set(a, b):
+    overlap = cell_set(a) & cell_set(b)
+    inter = a.intersect(b)
+    if inter is None:
+        assert overlap == set()
+    else:
+        assert cell_set(inter) == overlap
+
+
+@given(boxes(), boxes())
+def test_intersect_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(boxes(), boxes(), boxes())
+def test_union_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(boxes(), boxes())
+def test_intersection_inside_union(a, b):
+    inter = a.intersect(b)
+    if inter is not None:
+        u = a.union(b)
+        assert cell_set(inter) <= cell_set(u)
+
+
+@given(boxes())
+def test_from_points_round_trip(a):
+    points = np.array(list(a.cells()), dtype=np.int64)
+    assert BBox.from_points(points) == a
+
+
+@given(boxes(), st.integers(13, 20), st.integers(13, 20))
+def test_of_nonzero_recovers_box(a, n_channels, n_grids):
+    array = np.zeros((n_channels, n_grids), dtype=np.int32)
+    rows, cols = a.slices()
+    array[rows, cols] = 1
+    assert BBox.of_nonzero(array) == a
+    assert BBox.of_nonzero(np.zeros_like(array)) is None
+
+
+@given(boxes())
+def test_slices_select_exactly_the_box(a):
+    array = np.zeros((21, 21), dtype=np.int32)
+    rows, cols = a.slices()
+    array[rows, cols] = 1
+    assert int(array.sum()) == a.area
+
+
+def test_degenerate_and_negative_boxes_rejected():
+    with pytest.raises(GridError):
+        BBox(3, 0, 2, 5)
+    with pytest.raises(GridError):
+        BBox(0, 5, 2, 4)
+    with pytest.raises(GridError):
+        BBox(-1, 0, 2, 4)

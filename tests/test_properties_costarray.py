@@ -1,0 +1,176 @@
+"""Property-based tests for the CostArray (hypothesis).
+
+The cost array is the data structure everything else balances on: the
+router prices candidates through ``row_prefix`` / ``column_range_sums``,
+the simulators mutate it through ``apply_path`` / ``remove_path`` /
+``accumulate``, and the verification layer assumes those operations are
+exact inverses.  These properties pin the algebra down against brute
+force over arbitrary shapes and contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GridError
+from repro.grid.bbox import BBox
+from repro.grid.cost_array import CostArray
+
+MAX_CHANNELS = 8
+MAX_GRIDS = 24
+
+
+@st.composite
+def grids(draw):
+    """A small CostArray with arbitrary non-negative contents."""
+    n_channels = draw(st.integers(1, MAX_CHANNELS))
+    n_grids = draw(st.integers(1, MAX_GRIDS))
+    values = draw(
+        st.lists(
+            st.integers(0, 9),
+            min_size=n_channels * n_grids,
+            max_size=n_channels * n_grids,
+        )
+    )
+    data = np.array(values, dtype=np.int32).reshape(n_channels, n_grids)
+    return CostArray(n_channels, n_grids, data)
+
+
+@st.composite
+def grids_with_cells(draw):
+    """A CostArray plus a unique sorted flat cell subset (a path's cells)."""
+    array = draw(grids())
+    total = array.n_channels * array.n_grids
+    cells = draw(
+        st.lists(st.integers(0, total - 1), unique=True, max_size=min(total, 32))
+    )
+    return array, np.array(sorted(cells), dtype=np.int64)
+
+
+@st.composite
+def grids_with_box(draw):
+    """A CostArray plus a bbox inside it."""
+    array = draw(grids())
+    c_lo = draw(st.integers(0, array.n_channels - 1))
+    c_hi = draw(st.integers(c_lo, array.n_channels - 1))
+    x_lo = draw(st.integers(0, array.n_grids - 1))
+    x_hi = draw(st.integers(x_lo, array.n_grids - 1))
+    return array, BBox(c_lo, x_lo, c_hi, x_hi)
+
+
+@given(grids_with_cells(), st.integers(1, 3))
+def test_apply_remove_round_trip(array_cells, delta):
+    array, cells = array_cells
+    before = array.data.copy()
+    array.apply_path(cells, delta)
+    assert array.total_occupancy() == before.sum() + delta * cells.size
+    array.remove_path(cells, delta)
+    np.testing.assert_array_equal(array.data, before)
+
+
+@given(grids_with_cells())
+def test_apply_adds_exactly_one_per_cell(array_cells):
+    array, cells = array_cells
+    before = array.data.copy()
+    array.apply_path(cells)
+    diff = array.data.reshape(-1) - before.reshape(-1)
+    expected = np.zeros(array.n_channels * array.n_grids, dtype=np.int32)
+    if cells.size:
+        expected[cells] = 1
+    np.testing.assert_array_equal(diff, expected)
+
+
+@given(grids_with_cells())
+def test_path_cost_is_brute_force_sum(array_cells):
+    array, cells = array_cells
+    expected = sum(int(array.data.reshape(-1)[c]) for c in cells)
+    assert array.path_cost(cells) == expected
+
+
+@given(grids_with_cells())
+def test_strict_remove_rejects_unapplied_path(array_cells):
+    array, cells = array_cells
+    if cells.size == 0:
+        return
+    # Zero one covered cell, then rip up at a delta its entry can't cover.
+    array.data.reshape(-1)[cells[0]] = 0
+    with pytest.raises(GridError):
+        array.remove_path(cells, delta=1, strict=True)
+
+
+@given(grids())
+def test_row_prefix_matches_brute_force(array):
+    for c in range(array.n_channels):
+        p = array.row_prefix(c)
+        assert p.shape == (array.n_grids + 1,)
+        assert p[0] == 0
+        for x in range(array.n_grids):
+            assert p[x + 1] == int(array.data[c, : x + 1].sum())
+
+
+@given(grids_with_box())
+def test_row_prefix_range_identity(array_box):
+    array, box = array_box
+    # The router's inclusive range-sum identity: sum[a..b] == p[b+1] - p[a].
+    for c in range(array.n_channels):
+        p = array.row_prefix(c)
+        expected = int(array.data[c, box.x_lo : box.x_hi + 1].sum())
+        assert p[box.x_hi + 1] - p[box.x_lo] == expected
+
+
+@given(grids_with_box())
+def test_column_range_sums_match_brute_force(array_box):
+    array, box = array_box
+    sums = array.column_range_sums(box.c_lo, box.c_hi, box.x_lo, box.x_hi)
+    assert sums.shape == (box.width,)
+    for i, x in enumerate(range(box.x_lo, box.x_hi + 1)):
+        expected = sum(int(array.data[c, x]) for c in range(box.c_lo, box.c_hi + 1))
+        assert sums[i] == expected
+
+
+@given(grids_with_box())
+def test_column_range_sums_empty_row_range(array_box):
+    array, box = array_box
+    sums = array.column_range_sums(box.c_hi + 1, box.c_hi, box.x_lo, box.x_hi)
+    np.testing.assert_array_equal(sums, np.zeros(box.width, dtype=np.int64))
+
+
+@given(grids_with_box())
+def test_extract_replace_round_trip(array_box):
+    array, box = array_box
+    before = array.data.copy()
+    block = array.extract(box)
+    assert block.shape == (box.height, box.width)
+    # extract must copy, never alias
+    block += 1
+    np.testing.assert_array_equal(array.data, before)
+    array.replace(box, block)
+    rows, cols = box.slices()
+    np.testing.assert_array_equal(array.data[rows, cols], before[rows, cols] + 1)
+
+
+@given(grids_with_box(), st.integers(-3, 3))
+def test_accumulate_is_elementwise_add(array_box, delta):
+    array, box = array_box
+    before = array.data.copy()
+    deltas = np.full((box.height, box.width), delta, dtype=np.int32)
+    array.accumulate(box, deltas)
+    rows, cols = box.slices()
+    np.testing.assert_array_equal(array.data[rows, cols], before[rows, cols] + delta)
+    # cells outside the box untouched
+    mask = np.ones(array.shape, dtype=bool)
+    mask[rows, cols] = False
+    np.testing.assert_array_equal(array.data[mask], before[mask])
+
+
+@settings(max_examples=50)
+@given(grids())
+def test_total_occupancy_and_channel_maxima(array):
+    assert array.total_occupancy() == int(array.data.sum())
+    maxima = array.channel_maxima()
+    assert maxima.shape == (array.n_channels,)
+    for c in range(array.n_channels):
+        assert maxima[c] == int(array.data[c].max())
