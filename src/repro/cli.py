@@ -112,6 +112,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the repro.verify invariant checkers alongside the simulation",
     )
+    p_mp.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-scale smoke run: 160-wire circuit, 2 iterations, and (when "
+        "no schedule flags are given) the blocking receiver-initiated 1/5 "
+        "schedule so fault flags exercise the recovery path",
+    )
+    p_mp.add_argument(
+        "--fault-drop",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="drop each packet with probability P (deterministic, see --fault-seed)",
+    )
+    p_mp.add_argument(
+        "--fault-duplicate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="duplicate each packet with probability P",
+    )
+    p_mp.add_argument(
+        "--fault-delay",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="delay each packet with probability P",
+    )
+    p_mp.add_argument(
+        "--fault-reorder",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="reorder each packet with probability P",
+    )
+    p_mp.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="PCG64 seed of the fault stream (same seed => identical faults)",
+    )
     p_mp.add_argument("--json", action="store_true", help="print a JSON summary")
 
     p_dyn = sub.add_parser("dynamic", help="dynamic wire assignment (§4.2)")
@@ -245,23 +286,57 @@ def _verification_exit(result, args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_mp(args: argparse.Namespace) -> int:
-    circuit = _get_circuit(args)
-    schedule = UpdateSchedule(
-        send_loc_every=args.send_loc,
-        send_rmt_every=args.send_rmt,
-        req_loc_every=args.req_loc,
-        req_rmt_every=args.req_rmt,
-        blocking=args.blocking,
-        packet_structure=PacketStructure(args.packet_structure),
-        interrupt_reception=args.interrupts,
+def _build_fault_plan(args: argparse.Namespace):
+    """The FaultPlan implied by the --fault-* flags (None when fault-free)."""
+    probs = (
+        args.fault_drop,
+        args.fault_duplicate,
+        args.fault_delay,
+        args.fault_reorder,
     )
+    if all(p == 0 for p in probs):
+        return None  # negative values fall through to FaultPlan validation
+    from .faults import FaultPlan
+
+    return FaultPlan(
+        seed=args.fault_seed,
+        drop_prob=args.fault_drop,
+        duplicate_prob=args.fault_duplicate,
+        delay_prob=args.fault_delay,
+        reorder_prob=args.fault_reorder,
+    )
+
+
+def _cmd_mp(args: argparse.Namespace) -> int:
+    no_schedule_flags = all(
+        v is None for v in (args.send_loc, args.send_rmt, args.req_loc, args.req_rmt)
+    )
+    if args.quick:
+        if args.wires is None and args.load is None:
+            args.wires = 160
+        if args.iterations == 3:  # the argparse default
+            args.iterations = 2
+    circuit = _get_circuit(args)
+    if args.quick and no_schedule_flags:
+        schedule = UpdateSchedule.receiver_initiated(1, 5, blocking=True)
+    else:
+        schedule = UpdateSchedule(
+            send_loc_every=args.send_loc,
+            send_rmt_every=args.send_rmt,
+            req_loc_every=args.req_loc,
+            req_rmt_every=args.req_rmt,
+            blocking=args.blocking,
+            packet_structure=PacketStructure(args.packet_structure),
+            interrupt_reception=args.interrupts,
+        )
+    faults = _build_fault_plan(args)
     result = run_message_passing(
         circuit,
         schedule,
         n_procs=args.procs,
         iterations=args.iterations,
         check_invariants=args.check_invariants,
+        faults=faults,
     )
     if args.json:
         print(json.dumps(result.summary_dict(), indent=1))
@@ -272,6 +347,20 @@ def _cmd_mp(args: argparse.Namespace) -> int:
         print(f"  {key}: {value}")
     print(f"  messages: {result.network.n_messages}")
     print(f"  mean latency: {result.network.mean_latency_s * 1e6:.1f} us")
+    if faults is not None:
+        fmeta = result.meta["faults"]
+        injected, recovery = fmeta["injected"], fmeta["recovery"]
+        print(f"faults: {fmeta['plan']}")
+        print(
+            f"  injected: {injected['send_attempts']} attempts, "
+            f"{injected['dropped']} dropped, {injected['duplicated']} duplicated, "
+            f"{injected['delayed']} delayed, {injected['reordered']} reordered"
+        )
+        print(
+            f"  recovery: {recovery['retries_sent']} retries, "
+            f"{recovery['requests_abandoned']} abandoned, "
+            f"{recovery['duplicate_responses_ignored']} duplicate responses ignored"
+        )
     return _verification_exit(result, args)
 
 

@@ -47,3 +47,8 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness (unknown experiment id, etc.)."""
+
+
+class FaultPlanError(ReproError):
+    """Raised for invalid fault-injection plans (bad probabilities,
+    malformed outage/stall windows, bad recovery parameters)."""

@@ -1,0 +1,269 @@
+"""Fault plans: the declarative, seed-driven description of what breaks.
+
+A :class:`FaultPlan` is a frozen, picklable dataclass, so it slots into
+the harness's content-addressed result cache the same way an
+:class:`~repro.updates.schedule.UpdateSchedule` does: two runs with the
+same circuit, schedule and plan (including ``seed``) produce identical
+fingerprints.
+
+The plan describes *network-level* misbehaviour only; the protocol-level
+recovery that survives it (request retries, blocking-mode timeouts) is
+configured by the nested :class:`RecoveryPolicy` and executed by
+:class:`~repro.parallel.node.MPNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import FaultPlanError
+
+__all__ = ["FaultPlan", "FaultStats", "LinkWindow", "NodeStall", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class LinkWindow:
+    """A time window during which one link misbehaves.
+
+    ``slowdown=None`` means a full outage: no flit train whose route uses
+    ``link`` may *start* inside ``[start_s, end_s)``; injections are
+    deferred to the window's end.  A numeric ``slowdown`` (> 1) instead
+    stretches the transfer of any train starting inside the window by
+    that factor (modelled as extra destination-side latency, so link
+    reservations — and the flit-conservation accounting — are unchanged).
+    """
+
+    link: int
+    start_s: float
+    end_s: float
+    slowdown: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.link < 0:
+            raise FaultPlanError(f"link index must be >= 0, got {self.link}")
+        if not (0.0 <= self.start_s < self.end_s):
+            raise FaultPlanError(
+                f"window needs 0 <= start < end, got [{self.start_s}, {self.end_s})"
+            )
+        if self.slowdown is not None and self.slowdown <= 1.0:
+            raise FaultPlanError(f"slowdown must exceed 1, got {self.slowdown}")
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """A processor stall: deliveries landing in the window wait it out.
+
+    Models a node that stops servicing its network interface (GC pause,
+    OS preemption, thermal throttle) during ``[start_s, end_s)``; packets
+    whose arrival falls inside the window are held until ``end_s``.
+    """
+
+    proc: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.proc < 0:
+            raise FaultPlanError(f"proc must be >= 0, got {self.proc}")
+        if not (0.0 <= self.start_s < self.end_s):
+            raise FaultPlanError(
+                f"stall needs 0 <= start < end, got [{self.start_s}, {self.end_s})"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Watchdog semantics for overdue ReqRmtData responses.
+
+    A node arms a watchdog when it issues a request; if the response has
+    not arrived after ``watchdog_timeout_s`` the request is re-issued,
+    each retry waiting ``backoff_factor`` times longer than the last.
+    After ``max_retries`` re-sends the request is *abandoned*: the node
+    gives up on fresh data for that region and routes against its stale
+    view — the graceful-degradation path.  Abandonment is what unblocks
+    blocking-mode nodes that would otherwise deadlock (§4.3.3 blocking
+    semantics assume a lossless network).
+
+    The timeout must be calibrated against *servicing* delay, not wire
+    latency: owners poll for packets between wires (§5.1.3), so a healthy
+    response can take a full wire-routing time (several ms) to appear.
+    The default (10 ms) keeps fault-free requests inside the retry
+    budget — the watchdog may still fire on a slow response (it cannot
+    distinguish slow from lost), but the retry is idempotent and the
+    request is never abandoned unless the network is actually eating
+    responses.
+    """
+
+    watchdog_timeout_s: float = 1e-2
+    backoff_factor: float = 2.0
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.watchdog_timeout_s <= 0:
+            raise FaultPlanError(
+                f"watchdog_timeout_s must be positive, got {self.watchdog_timeout_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise FaultPlanError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_retries < 0:
+            raise FaultPlanError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise FaultPlanError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the injector needs to decide each packet's fate.
+
+    Per-packet faults are Bernoulli draws from a ``seed``-derived PCG64
+    stream, consumed in network injection order (which is deterministic
+    in virtual time), so the whole fault sequence is a pure function of
+    ``(plan, workload)``.
+
+    ``drop_prob_by_kind`` / ``duplicate_prob_by_kind`` override the
+    global probabilities for specific packet kinds, keyed by
+    :class:`~repro.updates.types.UpdateKind` member *name* (e.g.
+    ``"RSP_RMT_DATA"``); this is how the test suite expresses "drop every
+    response" without touching requests.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    delay_prob: float = 0.0
+    #: Extra latency of a delayed packet: uniform in (0, max_delay_s].
+    max_delay_s: float = 500e-6
+    reorder_prob: float = 0.0
+    #: A reordered packet is held up to this long, letting later
+    #: injections overtake it.
+    reorder_window_s: float = 100e-6
+    drop_prob_by_kind: Tuple[Tuple[str, float], ...] = ()
+    duplicate_prob_by_kind: Tuple[Tuple[str, float], ...] = ()
+    link_windows: Tuple[LinkWindow, ...] = ()
+    node_stalls: Tuple[NodeStall, ...] = ()
+    #: ``None`` disables the watchdog entirely (faults with no recovery).
+    recovery: Optional[RecoveryPolicy] = RecoveryPolicy()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "duplicate_prob", "delay_prob", "reorder_prob"):
+            _check_prob(name, getattr(self, name))
+        for attr in ("drop_prob_by_kind", "duplicate_prob_by_kind"):
+            for kind, prob in getattr(self, attr):
+                _check_prob(f"{attr}[{kind!r}]", prob)
+        if self.max_delay_s <= 0:
+            raise FaultPlanError(f"max_delay_s must be positive, got {self.max_delay_s}")
+        if self.reorder_window_s <= 0:
+            raise FaultPlanError(
+                f"reorder_window_s must be positive, got {self.reorder_window_s}"
+            )
+
+    # ------------------------------------------------------------------
+    def kind_drop_prob(self, kind_name: Optional[str]) -> float:
+        """Drop probability for a packet of *kind_name* (global fallback)."""
+        for kind, prob in self.drop_prob_by_kind:
+            if kind == kind_name:
+                return prob
+        return self.drop_prob
+
+    def kind_duplicate_prob(self, kind_name: Optional[str]) -> float:
+        """Duplicate probability for *kind_name* (global fallback)."""
+        for kind, prob in self.duplicate_prob_by_kind:
+            if kind == kind_name:
+                return prob
+        return self.duplicate_prob
+
+    @property
+    def has_packet_faults(self) -> bool:
+        """True when any per-packet Bernoulli fault can fire."""
+        return (
+            self.drop_prob > 0
+            or self.duplicate_prob > 0
+            or self.delay_prob > 0
+            or self.reorder_prob > 0
+            or any(p > 0 for _, p in self.drop_prob_by_kind)
+            or any(p > 0 for _, p in self.duplicate_prob_by_kind)
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form for run metadata."""
+        parts = [f"seed={self.seed}"]
+        for name, short in (
+            ("drop_prob", "drop"),
+            ("duplicate_prob", "dup"),
+            ("delay_prob", "delay"),
+            ("reorder_prob", "reorder"),
+        ):
+            value = getattr(self, name)
+            if value > 0:
+                parts.append(f"{short}={value:g}")
+        for kind, prob in self.drop_prob_by_kind:
+            parts.append(f"drop[{kind}]={prob:g}")
+        for kind, prob in self.duplicate_prob_by_kind:
+            parts.append(f"dup[{kind}]={prob:g}")
+        if self.link_windows:
+            parts.append(f"link_windows={len(self.link_windows)}")
+        if self.node_stalls:
+            parts.append(f"node_stalls={len(self.node_stalls)}")
+        if self.recovery is None:
+            parts.append("no-recovery")
+        return " ".join(parts)
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did to one run's traffic.
+
+    ``send_attempts`` counts every packet handed to the network;
+    ``dropped`` ones never entered it (no link reservation, no delivery),
+    ``duplicated`` counts *extra* transmitted copies.  The lossy counters
+    single out faults that can violate the delta-replica convergence
+    invariant (see :mod:`repro.verify.invariants`): any drop or
+    duplication may lose or double-count state, so the verify layer
+    waives that check — explicitly, never silently — when
+    :attr:`lossy` is true.
+    """
+
+    send_attempts: int = 0
+    dropped: int = 0
+    bytes_dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    outage_deferrals: int = 0
+    slowdown_hits: int = 0
+    deliveries_stalled: int = 0
+    dropped_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lossy(self) -> bool:
+        """True when state may have been lost or double-counted."""
+        return self.dropped > 0 or self.duplicated > 0
+
+    def count_drop(self, kind_name: Optional[str], length_bytes: int) -> None:
+        """Record one dropped packet."""
+        self.dropped += 1
+        self.bytes_dropped += length_bytes
+        key = kind_name or "?"
+        self.dropped_by_kind[key] = self.dropped_by_kind.get(key, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe summary for ``meta["faults"]``."""
+        return {
+            "send_attempts": self.send_attempts,
+            "dropped": self.dropped,
+            "bytes_dropped": self.bytes_dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "outage_deferrals": self.outage_deferrals,
+            "slowdown_hits": self.slowdown_hits,
+            "deliveries_stalled": self.deliveries_stalled,
+            "dropped_by_kind": dict(self.dropped_by_kind),
+            "lossy": self.lossy,
+        }

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuits import Circuit, bnre_like, mdc_like
 from ..errors import ExperimentError
+from ..faults.plan import FaultPlan
 from ..parallel import run_message_passing, run_shared_memory
 from ..parallel.results import ParallelRunResult
 from ..parallel.timing import DEFAULT_COST_MODEL
@@ -78,12 +79,19 @@ class SimConfig:
     collect_trace: bool = True
     #: Run the repro.verify invariant checkers alongside the simulation.
     check_invariants: bool = False
+    #: Fault-injection plan (message passing only); ``None`` = fault-free.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("mp", "sm"):
             raise ExperimentError(f"unknown sim kind {self.kind!r}")
         if self.kind == "mp" and self.schedule is None:
             raise ExperimentError("message passing configs need a schedule")
+        if self.kind == "sm" and self.faults is not None:
+            raise ExperimentError(
+                "fault injection targets the message passing network; "
+                "shared memory configs cannot carry a FaultPlan"
+            )
 
 
 @lru_cache(maxsize=32)
@@ -125,6 +133,7 @@ def sim_fingerprint(config: SimConfig) -> Dict[str, object]:
         "protocol": config.protocol,
         "collect_trace": config.collect_trace,
         "check_invariants": config.check_invariants,
+        "faults": config.faults,  # dataclass (or None); jsonified by stable_hash
         "cost_model": cost_model_fingerprint(DEFAULT_COST_MODEL),
         "code": code_fingerprint(),
     }
@@ -159,6 +168,7 @@ def run_sim_config(config: SimConfig) -> ParallelRunResult:
             n_procs=config.n_procs,
             iterations=config.iterations,
             check_invariants=config.check_invariants,
+            faults=config.faults,
         )
     return run_shared_memory(
         circuit,

@@ -23,6 +23,10 @@ class Message:
     ``length_bytes`` is the wire size used both for latency (the ``L`` in
     the CBS formula) and traffic accounting.  ``payload`` is never
     inspected by the network layer.
+
+    Self-addressed messages (``src == dst``) are legal: retry and
+    re-request paths can legitimately produce them, and the network
+    loops them back locally (two ProcessTime copies, no link occupancy).
     """
 
     src: int
@@ -33,8 +37,6 @@ class Message:
     def __post_init__(self) -> None:
         if self.length_bytes <= 0:
             raise NetworkError(f"message length must be positive, got {self.length_bytes}")
-        if self.src == self.dst:
-            raise NetworkError("messages must travel between distinct nodes")
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ hot spots delay delivery, while keeping the simulation O(D) per message.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from ..events.sim import Simulator
 from .message import Delivery, Message
 from .stats import NetworkStats
 from .topology import MeshTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> netsim)
+    from ..faults.injector import FaultDecision, FaultInjector
 
 __all__ = ["WormholeNetwork", "HOP_TIME_S", "PROCESS_TIME_S"]
 
@@ -64,6 +67,13 @@ class WormholeNetwork:
     on_deliver:
         Callback invoked as ``on_deliver(delivery)`` when a message
         arrives at its destination.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`; when present,
+        every send attempt is submitted to it and the decided faults
+        (drop / duplicate / delay / reorder, plus link outage and node
+        stall windows) are applied.  Dropped packets never enter the
+        network: they reserve no links and appear in no conservation
+        counter except the injector's own :class:`FaultStats`.
     """
 
     def __init__(
@@ -73,6 +83,7 @@ class WormholeNetwork:
         on_deliver: Callable[[Delivery], None],
         hop_time_s: float = HOP_TIME_S,
         process_time_s: float = PROCESS_TIME_S,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         if hop_time_s <= 0:
             raise NetworkError(f"hop_time_s must be positive, got {hop_time_s}")
@@ -85,6 +96,7 @@ class WormholeNetwork:
         self.on_deliver = on_deliver
         self.hop_time_s = hop_time_s
         self.process_time_s = process_time_s
+        self.faults = faults
         self._link_free_at = np.zeros(topology.n_links, dtype=np.float64)
         self._link_busy_s = np.zeros(topology.n_links, dtype=np.float64)
         self.stats = NetworkStats()
@@ -107,42 +119,84 @@ class WormholeNetwork:
         return self._link_busy_s / elapsed_s
 
     def uncontended_latency(self, src: int, dst: int, length_bytes: int) -> float:
-        """The paper's closed-form latency: 2*ProcessTime + HopTime*(D+L)."""
+        """The paper's closed-form latency: 2*ProcessTime + HopTime*(D+L).
+
+        Self-addressed packets never enter the network: the only cost is
+        the two node/network copies, so the floor is ``2 * ProcessTime``.
+        """
+        if src == dst:
+            return 2 * self.process_time_s
         hops = self.topology.hop_distance(src, dst)
         return 2 * self.process_time_s + self.hop_time_s * (hops + length_bytes)
 
-    def send(self, message: Message, inject_time: Optional[float] = None) -> Delivery:
+    def send(
+        self, message: Message, inject_time: Optional[float] = None
+    ) -> Optional[Delivery]:
         """Inject *message* and schedule its delivery; returns the record.
 
         ``inject_time`` defaults to the simulator's current time; it may be
         in the future (a node handing over a packet at the end of its
         current computation), never in the past.
+
+        Self-addressed messages (``src == dst`` — retry/re-request paths
+        produce them) loop back locally after ``2 * process_time_s`` with
+        no link occupancy.
+
+        With a fault injector installed the packet may be dropped
+        (returns ``None``), duplicated (two trains, two deliveries; the
+        last delivery record is returned), delayed, or deferred by link
+        outage / node stall windows.
         """
         now = self.sim.now
         t_inject = now if inject_time is None else inject_time
         if t_inject < now:
             raise NetworkError(f"inject time {t_inject} is in the past (now={now})")
 
-        links = self.topology.route(message.src, message.dst)
-        hops = len(links)
-        if hops == 0:
-            raise NetworkError("network cannot deliver a message to its own source")
-        length = message.length_bytes
+        copies = 1
+        extra_delay_s = 0.0
+        if self.faults is not None:
+            decision = self.faults.on_send(message)
+            if decision.drop:
+                return None
+            copies = decision.copies
+            extra_delay_s = decision.extra_delay_s
 
-        # The train may start once the source has copied the packet out and
-        # every link on the route is free.
-        earliest = t_inject + self.process_time_s
-        if links:
+        delivery: Optional[Delivery] = None
+        for _ in range(copies):
+            delivery = self._transmit(message, t_inject, extra_delay_s)
+        return delivery
+
+    def _transmit(
+        self, message: Message, t_inject: float, extra_delay_s: float
+    ) -> Delivery:
+        """Reserve links and schedule one delivery of *message*."""
+        length = message.length_bytes
+        if message.src == message.dst:
+            # Local loop-back: the packet is copied out of and back into
+            # the same node, crossing no links.
+            hops = 0
+            arrive = t_inject + 2 * self.process_time_s + extra_delay_s
+        else:
+            links = self.topology.route(message.src, message.dst)
+            hops = len(links)
+            # The train may start once the source has copied the packet
+            # out and every link on the route is free.
+            earliest = t_inject + self.process_time_s
             earliest = max(earliest, float(self._link_free_at[links].max()))
-        t_start = earliest
-        # Link i is held until the tail byte has crossed it; the flit
-        # train itself occupies each link for (L + 1) byte-times.
-        for i, link in enumerate(links):
-            self._link_free_at[link] = t_start + self.hop_time_s * (i + 1 + length)
-            self._link_busy_s[link] += self.hop_time_s * (length + 1)
-        arrive = (
-            t_start + self.hop_time_s * (hops + length) + self.process_time_s
-        )
+            if self.faults is not None:
+                earliest = self.faults.outage_release(links, earliest)
+            t_start = earliest
+            # Link i is held until the tail byte has crossed it; the flit
+            # train itself occupies each link for (L + 1) byte-times.
+            for i, link in enumerate(links):
+                self._link_free_at[link] = t_start + self.hop_time_s * (i + 1 + length)
+                self._link_busy_s[link] += self.hop_time_s * (length + 1)
+            transfer_s = self.hop_time_s * (hops + length)
+            arrive = t_start + transfer_s + self.process_time_s + extra_delay_s
+            if self.faults is not None:
+                arrive += self.faults.slowdown_delay(links, t_start, transfer_s)
+        if self.faults is not None:
+            arrive = self.faults.stall_release(message.dst, arrive)
 
         delivery = Delivery(
             message=message, inject_time=t_inject, arrive_time=arrive, hops=hops

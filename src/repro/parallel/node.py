@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.model import Circuit
 from ..errors import ProtocolError
+from ..faults.plan import RecoveryPolicy
 from ..grid.bbox import BBox
 from ..grid.cost_array import CostArray
 from ..grid.delta import DeltaArray
@@ -128,6 +129,7 @@ class MPNode:
         iterations: int,
         cost_model: CostModel,
         services: NodeServices,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.proc = proc
         self.circuit = circuit
@@ -166,6 +168,24 @@ class MPNode:
         self._region_req_bbox: Dict[int, BBox] = {}
         self.outstanding_responses = 0
         self._reqs_received_from: Dict[int, int] = {}
+
+        # recovery bookkeeping: every ReqRmtData carries a fresh req_id
+        # and is tracked until its response arrives, making receipt
+        # idempotent (a duplicated or post-abandonment response matches
+        # no pending entry and is ignored instead of corrupting the
+        # outstanding-response count).  The staleness watchdog — re-issue
+        # with exponential backoff, then abandon — is armed only when a
+        # ``recovery`` policy is supplied, so fault-free runs schedule no
+        # extra events and stay bit-identical to the pre-fault kernel.
+        self.recovery = recovery
+        self._req_seq = itertools.count()
+        #: req_id -> [owner, bbox, retries_so_far, current_timeout_s]
+        self._pending_requests: Dict[int, List[object]] = {}
+        self._rsp_loc_seen: set = set()
+        self.watchdog_fires = 0
+        self.retries_sent = 0
+        self.requests_abandoned = 0
+        self.duplicate_responses_ignored = 0
 
         # sender-initiated counters
         self._since_send_loc = 0
@@ -383,11 +403,66 @@ class MPNode:
     def _send_req_rmt(self, owner: int) -> None:
         bbox = self._region_req_bbox.pop(owner)
         self._region_touch_count[owner] = 0
+        rid = next(self._req_seq)
         packet = build_request(
-            UpdateKind.REQ_RMT_DATA, self.proc, owner, bbox, region_owner=owner
+            UpdateKind.REQ_RMT_DATA, self.proc, owner, bbox, region_owner=owner,
+            req_id=rid,
         )
         self.outstanding_responses += 1
         self._emit(packet, payload_cells=0)
+        if self.recovery is not None:
+            timeout = self.recovery.watchdog_timeout_s
+            self._pending_requests[rid] = [owner, bbox, 0, timeout]
+            deadline = self.clock + timeout
+            self.services.schedule(
+                deadline, lambda r=rid, t=deadline: self._watchdog_fire(r, t)
+            )
+        else:
+            self._pending_requests[rid] = [owner, bbox, 0, 0.0]
+
+    def _watchdog_fire(self, rid: int, fire_time: float) -> None:
+        """Staleness watchdog: retry an overdue ReqRmtData, or abandon it.
+
+        Retransmission is a network-interface action: it re-injects the
+        tracked request at the watchdog's fire time without advancing the
+        node's local clock (the node may be mid-wire; the retry must not
+        cost routing time).  After ``max_retries`` re-sends the request
+        is abandoned — the node accepts its stale view of that region and
+        releases the outstanding-response slot, which is what un-wedges
+        blocking-mode nodes on a lossy network.
+        """
+        entry = self._pending_requests.get(rid)
+        if entry is None:
+            return  # response arrived (or request already abandoned)
+        assert self.recovery is not None
+        self.watchdog_fires += 1
+        owner, bbox, retries, timeout = entry
+        if retries < self.recovery.max_retries:
+            entry[2] = retries + 1
+            new_timeout = timeout * self.recovery.backoff_factor
+            entry[3] = new_timeout
+            packet = build_request(
+                UpdateKind.REQ_RMT_DATA, self.proc, owner, bbox,
+                region_owner=owner, req_id=rid,
+            )
+            self.retries_sent += 1
+            self.messages_sent += 1
+            self.services.send_packet(packet, fire_time)
+            deadline = fire_time + new_timeout
+            self.services.schedule(
+                deadline, lambda r=rid, t=deadline: self._watchdog_fire(r, t)
+            )
+            return
+        # Out of retries: degrade gracefully to the stale view.
+        del self._pending_requests[rid]
+        self.requests_abandoned += 1
+        self.outstanding_responses -= 1
+        if (
+            self.phase == NodePhase.WAITING
+            and self.outstanding_responses <= 0
+            and not self._activation_pending
+        ):
+            self._schedule_activation(max(self.clock, fire_time))
 
     # ------------------------------------------------------------------
     # sender-initiated machinery
@@ -513,11 +588,28 @@ class MPNode:
         elif kind is UpdateKind.REQ_LOC_DATA:
             self._answer_req_loc(packet)
         elif kind is UpdateKind.RSP_RMT_DATA:
+            rid = packet.req_id
+            if rid is not None and rid not in self._pending_requests:
+                # Duplicated (or post-abandonment) response: the matching
+                # request was already satisfied or given up on.  Receipt
+                # is idempotent — pay the disassembly cost, apply nothing.
+                self.duplicate_responses_ignored += 1
+                return
+            if rid is not None:
+                del self._pending_requests[rid]
             self._apply_absolute(packet)
             self.outstanding_responses -= 1
             if self.outstanding_responses < 0:
                 raise ProtocolError("response arrived without a matching request")
         elif kind is UpdateKind.RSP_LOC_DATA:
+            rid = packet.req_id
+            if rid is not None:
+                if rid in self._rsp_loc_seen:
+                    # Duplicated delta response: accumulating it twice
+                    # would double-count the sender's changes.
+                    self.duplicate_responses_ignored += 1
+                    return
+                self._rsp_loc_seen.add(rid)
             self.view.accumulate(packet.bbox, packet.values)
             self.delta.accumulate(packet.bbox, packet.values)
         else:  # pragma: no cover - exhaustive over UpdateKind
@@ -548,7 +640,8 @@ class MPNode:
             )
         response = build_response(
             build_request(
-                UpdateKind.REQ_RMT_DATA, request.src, self.proc, clipped, self.proc
+                UpdateKind.REQ_RMT_DATA, request.src, self.proc, clipped, self.proc,
+                req_id=request.req_id,
             ),
             self.view.extract(clipped),
         )
@@ -566,6 +659,7 @@ class MPNode:
                     request.src,
                     self.own_region,
                     region_owner=self.proc,
+                    req_id=next(self._req_seq),
                 )
                 self._emit(req, payload_cells=0)
             else:
@@ -578,7 +672,8 @@ class MPNode:
             return  # nothing to report; owners do not block on ReqLocData
         response = build_response(
             build_request(
-                UpdateKind.REQ_LOC_DATA, request.src, self.proc, dirty, request.src
+                UpdateKind.REQ_LOC_DATA, request.src, self.proc, dirty, request.src,
+                req_id=request.req_id,
             ),
             self.delta.extract(dirty),
         )

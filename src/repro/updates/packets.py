@@ -72,6 +72,11 @@ class UpdatePacket:
     #: structures (wire-based encoding): the *information* still travels
     #: as bbox + values, but the accounted bytes follow the encoding.
     wire_bytes: Optional[int] = None
+    #: Request correlation id: set on ReqRmtData/ReqLocData by nodes that
+    #: track recovery state, echoed back on the matching response.  Fits
+    #: in the header's sequence byte conceptually, so it adds no wire
+    #: bytes.  ``None`` preserves the legacy un-tracked protocol.
+    req_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if is_request(self.kind):
@@ -153,13 +158,24 @@ def build_rmt_data(
 
 
 def build_request(
-    kind: UpdateKind, src: int, dst: int, bbox: BBox, region_owner: int
+    kind: UpdateKind,
+    src: int,
+    dst: int,
+    bbox: BBox,
+    region_owner: int,
+    req_id: Optional[int] = None,
 ) -> UpdatePacket:
     """Build a ReqRmtData / ReqLocData request covering *bbox*."""
     if not is_request(kind):
         raise ProtocolError(f"{kind} is not a request kind")
     return UpdatePacket(
-        kind=kind, src=src, dst=dst, bbox=bbox, values=None, region_owner=region_owner
+        kind=kind,
+        src=src,
+        dst=dst,
+        bbox=bbox,
+        values=None,
+        region_owner=region_owner,
+        req_id=req_id,
     )
 
 
@@ -178,4 +194,5 @@ def build_response(request: UpdatePacket, values: np.ndarray) -> UpdatePacket:
         bbox=request.bbox,
         values=values,
         region_owner=request.region_owner,
+        req_id=request.req_id,
     )

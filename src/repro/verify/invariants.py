@@ -378,6 +378,24 @@ class NetworkInvariantMonitor:
             expected=expected_busy,
             actual=actual_busy,
         )
+        # Under fault injection the conservation counters see only the
+        # *transmitted* traffic (drops never enter the network, duplicates
+        # are full extra trains), so the injector's books must reconcile
+        # with the network's: attempts - dropped + duplicated == injected.
+        if getattr(net, "faults", None) is not None:
+            stats = net.faults.stats
+            expected_injected = stats.send_attempts - stats.dropped + stats.duplicated
+            self.report.check(
+                "flit-conservation",
+                net.messages_injected == expected_injected,
+                "fault accounting imbalance (attempts="
+                f"{stats.send_attempts}, dropped={stats.dropped}, "
+                f"duplicated={stats.duplicated}, injected="
+                f"{net.messages_injected})",
+                event_time_s=end_time,
+                expected=expected_injected,
+                actual=net.messages_injected,
+            )
 
 
 # ----------------------------------------------------------------------

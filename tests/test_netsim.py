@@ -71,9 +71,9 @@ class TestMessage:
         with pytest.raises(NetworkError):
             Message(0, 1, 0, None)
 
-    def test_self_send_rejected(self):
-        with pytest.raises(NetworkError):
-            Message(1, 1, 10, None)
+    def test_self_addressed_message_legal(self):
+        msg = Message(1, 1, 10, None)
+        assert msg.src == msg.dst == 1
 
 
 def make_network(n=16):
@@ -177,10 +177,27 @@ class TestContention:
         with pytest.raises(NetworkError):
             net.send(Message(0, 1, 10, "x"), inject_time=0.5)
 
-    def test_self_delivery_rejected(self):
-        _, net, _ = make_network()
-        with pytest.raises(NetworkError):
-            net.send(Message(0, 0, 10, "x"))
+    def test_self_delivery_loops_back_locally(self):
+        """src == dst delivers after 2*ProcessTime with no link occupancy."""
+        sim, net, deliveries = make_network()
+        d = net.send(Message(0, 0, 10, "x"))
+        sim.run()
+        assert deliveries == [d]
+        assert d.hops == 0
+        assert d.latency == pytest.approx(2 * PROCESS_TIME_S)
+        assert net.uncontended_latency(0, 0, 10) == pytest.approx(
+            2 * PROCESS_TIME_S
+        )
+        # the loop-back never touched the network fabric
+        assert float(net._link_busy_s.sum()) == 0.0
+
+    def test_self_delivery_does_not_queue_behind_links(self):
+        """A busy mesh cannot delay a local loop-back."""
+        sim, net, _ = make_network()
+        net.send(Message(0, 1, 5000, "big"))  # saturate node 0's X link
+        d = net.send(Message(0, 0, 10, "x"))
+        sim.run()
+        assert d.latency == pytest.approx(2 * PROCESS_TIME_S)
 
 
 class TestStats:
