@@ -16,6 +16,13 @@ Installed as ``locusroute`` (also ``python -m repro``).  Subcommands:
 ``verify``
     Run the consistency verification sweep: every invariant checker
     plus the three-way differential oracle (see docs/VERIFICATION.md).
+``profile``
+    Time experiments phase by phase (wall/CPU), dump the kernels' hot
+    path counters, and optionally attach cProfile (docs/PERFORMANCE.md).
+
+The global ``--kernels {vectorized,reference}`` flag (before the
+subcommand) selects the simulation kernel implementation process-wide;
+both produce bit-identical results (see :mod:`repro.kernels`).
 
 Examples
 --------
@@ -28,6 +35,8 @@ Examples
     locusroute experiment T1 T6
     locusroute experiment all --quick --out results/
     locusroute verify --quick
+    locusroute profile T3 --quick
+    locusroute --kernels reference profile T3 T6 --quick --cprofile
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from .circuits import bnre_like, compute_stats, load_json, mdc_like, save_json, 
 from .errors import ReproError
 from .harness.pool import default_jobs
 from .harness.runner import BENCH_FILENAME, run_all
+from .kernels import KERNEL_MODES, set_kernels
 from .parallel import run_dynamic_assignment, run_message_passing, run_shared_memory
 from .route import SequentialRouter
 from .updates import PacketStructure, UpdateSchedule
@@ -75,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(Martonosi & Gupta, ICPP 1989)",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--kernels",
+        choices=list(KERNEL_MODES),
+        default=None,
+        help="simulation kernel implementation (default: vectorized; both "
+        "modes produce bit-identical results)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_circuit = sub.add_parser("circuit", help="generate / inspect circuits")
@@ -230,6 +247,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--procs", type=int, default=None)
     p_verify.add_argument("--iterations", type=int, default=None)
     p_verify.add_argument("--json", action="store_true", help="print a JSON report")
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="phase timers, hot-path counters, optional cProfile",
+    )
+    p_profile.add_argument(
+        "ids", nargs="*", default=["T3"], help="experiment ids (default: T3)"
+    )
+    p_profile.add_argument(
+        "--quick", action="store_true", help="shrunk circuits, fast run"
+    )
+    p_profile.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="attach cProfile and print the top functions per experiment "
+        "(inflates Python-call-dense code; compare kernel modes by wall "
+        "clock, not by profiler output)",
+    )
+    p_profile.add_argument(
+        "--sort",
+        default="cumulative",
+        help="cProfile sort key (cumulative, tottime, calls, ...)",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=20, help="cProfile rows to print"
+    )
+    p_profile.add_argument("--json", action="store_true", help="print a JSON report")
 
     return parser
 
@@ -445,6 +489,51 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if run.ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .harness import run_experiment
+    from .kernels import active_kernels
+    from .obs import PhaseTimer, hot_counters, profile_call
+
+    timer = PhaseTimer()
+    profiles = {}
+    results = {}
+    for exp_id in args.ids:
+        with timer.phase(exp_id):
+            if args.cprofile:
+                results[exp_id], profiles[exp_id] = profile_call(
+                    lambda exp_id=exp_id: run_experiment(exp_id, quick=args.quick),
+                    sort=args.sort,
+                    top=args.top,
+                )
+            else:
+                results[exp_id] = run_experiment(exp_id, quick=args.quick)
+    counters = hot_counters()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "kernels": active_kernels(),
+                    "quick": args.quick,
+                    "timing": timer.as_dict(),
+                    "hot_counters": counters,
+                    "passed": {k: r.passed for k, r in results.items()},
+                },
+                indent=1,
+            )
+        )
+    else:
+        print(f"kernels: {active_kernels()}  quick: {args.quick}")
+        print(timer.render())
+        if counters:
+            print("hot-path counters:")
+            for name, value in counters.items():
+                print(f"  {name}: {value:.0f}")
+        for exp_id, text in profiles.items():
+            print(f"--- cProfile {exp_id} (sort={args.sort}) ---")
+            print(text)
+    return 0 if all(r.passed for r in results.values()) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -453,6 +542,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracebacks.
     """
     args = build_parser().parse_args(argv)
+    if args.kernels is not None:
+        set_kernels(args.kernels)
     handlers = {
         "circuit": _cmd_circuit,
         "route": _cmd_route,
@@ -461,6 +552,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dynamic": _cmd_dynamic,
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,
+        "profile": _cmd_profile,
     }
     try:
         return handlers[args.command](args)

@@ -39,11 +39,16 @@ class Event:
 class EventQueue:
     """Min-heap of :class:`Event` with monotonic pop times."""
 
+    #: Compaction floor: heaps smaller than this are never compacted
+    #: (filtering a tiny heap costs more than skipping its dead entries).
+    COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._last_popped = 0.0
         self._n_cancelled_in_heap = 0
+        self.n_compactions = 0
 
     def __len__(self) -> int:
         return len(self._heap) - self._n_cancelled_in_heap
@@ -70,6 +75,25 @@ class EventQueue:
         # A fired event was already removed by pop(); only events still in
         # the heap affect the live count.
         self._n_cancelled_in_heap += 1
+        # Lazy cancellation leaves dead entries in the heap; long
+        # fault-injection runs (heavy retry churn) can accumulate far more
+        # dead events than live ones, inflating every subsequent push/pop.
+        # Rebuild without them once they outnumber the live entries.
+        dead = self._n_cancelled_in_heap
+        if dead >= self.COMPACT_MIN and dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Pop order is unaffected: events are totally ordered by their
+        unique ``(time, seq)`` keys, so any heap over the same live set
+        pops the same sequence.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._n_cancelled_in_heap = 0
+        self.n_compactions += 1
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest live event, or ``None`` if the queue is empty."""

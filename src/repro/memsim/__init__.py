@@ -4,6 +4,7 @@ configurable line size)."""
 
 from .addressing import WORD_BYTES, AddressMap
 from .coherence import WriteBackInvalidate, simulate_trace
+from .columnar import ColumnarTrace, simulate_trace_columnar
 from .stats import CoherenceStats
 from .tango import TangoCollector
 from .trace import ReferenceTrace, TraceRecord
@@ -17,6 +18,8 @@ __all__ = [
     "AddressMap",
     "WriteBackInvalidate",
     "simulate_trace",
+    "ColumnarTrace",
+    "simulate_trace_columnar",
     "CoherenceStats",
     "TangoCollector",
     "ReferenceTrace",

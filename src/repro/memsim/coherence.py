@@ -162,12 +162,10 @@ def simulate_trace(
     around every access burst when supplied.
     """
     protocol = WriteBackInvalidate(n_procs, address_map)
-    if checker is None:
-        for record in trace.sorted_records():
-            protocol.access(record.proc, record.flat_cells, record.is_write)
-    else:
-        for record in trace.sorted_records():
+    for record in trace.sorted_records():
+        if checker is not None:
             checker.pre(protocol, record)
-            protocol.access(record.proc, record.flat_cells, record.is_write)
+        protocol.access(record.proc, record.flat_cells, record.is_write)
+        if checker is not None:
             checker.post(protocol, record)
     return protocol.stats

@@ -1,0 +1,279 @@
+"""Columnar (vectorised) replay of Write-Back-with-Invalidate traces.
+
+:func:`~repro.memsim.coherence.simulate_trace` walks the trace one access
+burst at a time — a Python-level loop whose per-record overhead dominates
+the Table 3 cache-line sweep, which replays the *same* trace once per line
+size.  This module computes the identical statistics with no per-record
+loop at all, in the columnar style of :mod:`repro.memsim.reference_level`:
+
+1. the burst trace is flattened **once** into parallel arrays — the
+   concatenated cell stream plus per-record ``(proc, is_write)`` columns
+   in global ``(time, append sequence)`` order (:class:`ColumnarTrace`);
+2. each replay maps cells to cache lines for its line size and dedupes to
+   one *event* per ``(record, line)`` pair — exactly the burst-level
+   deduplication the scalar engine performs via
+   :meth:`~repro.memsim.addressing.AddressMap.cells_to_lines`;
+3. events are grouped by line (lines evolve independently under the
+   infinite-cache protocol) and every per-event outcome is derived from
+   order statistics over the group: the position of the previous write,
+   run-length-encoded same-processor runs (is the line still
+   exclusive-dirty?), the previous access by the same ``(line, proc)``
+   (miss / cold / refetch classification), and segmented prefix sums of
+   read misses (how many sharers does a word write invalidate?).
+
+The derivation mirrors the protocol's state machine exactly, so the
+returned :class:`~repro.memsim.stats.CoherenceStats` is **bit-identical**
+to the scalar engine's — the scalar engine stays as the differential
+oracle (``locusroute verify`` cross-checks the two on every run, and the
+hypothesis tests in ``tests/test_memsim_columnar.py`` fuzz the
+equivalence on random traces).
+
+Key order statistics (per line group, events indexed ``0..k-1`` in global
+order; ``j`` is the position of the last write strictly before event
+``i``, or −1):
+
+- ``p ∈ sharers`` before ``i``  ⟺  p's previous event on the line is at
+  position ≥ max(j, 0) — a write resets the sharer set to the writer,
+  and every read since (each necessarily a miss on first touch) re-adds
+  its processor;
+- the line is *dirty* before ``i``  ⟺  ``j ≥ 0`` and events ``j..i-1``
+  form one same-processor run (the first foreign access after a write is
+  always a miss, and every miss on a dirty line flushes it);
+- ``|sharers|`` before ``i`` = ``1 + (read misses in (j, i))`` when
+  ``j ≥ 0``, else the number of read misses since the group start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import CoherenceError
+from ..obs import telemetry as obs
+from .addressing import WORD_BYTES, AddressMap
+from .stats import CoherenceStats
+from .trace import ReferenceTrace
+
+__all__ = ["ColumnarTrace", "simulate_trace_columnar"]
+
+
+@dataclass(frozen=True)
+class ColumnarTrace:
+    """A burst trace flattened into parallel arrays, in global order.
+
+    Build once with :meth:`from_trace` and replay at any number of cache
+    line sizes with :meth:`replay` — the flattening (which walks the
+    Python-level record list) is paid a single time per trace, not once
+    per line size.
+    """
+
+    #: Concatenated flat cell indices of every burst, global order.
+    #: ``int32`` — a flat cell index fits easily (grid cells number in the
+    #: thousands), and 4-byte columns halve the memory traffic of every
+    #: sort and gather in :meth:`replay`.
+    cells: np.ndarray
+    #: Record id (position in global order) of each cell (``int32``).
+    rec_ids: np.ndarray
+    #: Per-record referencing processor (``int32``).
+    rec_proc: np.ndarray
+    #: Per-record read/write flag.
+    rec_is_write: np.ndarray
+    #: Individual cell references by reads / writes (scalar-engine counts).
+    n_read_refs: int
+    n_write_refs: int
+
+    @staticmethod
+    def from_trace(trace: ReferenceTrace) -> "ColumnarTrace":
+        """Flatten *trace* in global ``(time, append sequence)`` order."""
+        records = list(trace.sorted_records())
+        if not records:
+            empty = np.empty(0, dtype=np.int32)
+            return ColumnarTrace(empty, empty, empty, empty.astype(bool), 0, 0)
+        sizes = np.array([r.n_refs for r in records], dtype=np.int64)
+        cells64 = np.concatenate([r.flat_cells for r in records])
+        if cells64.size and int(cells64.max()) >= np.iinfo(np.int32).max:
+            raise CoherenceError("flat cell index overflows the int32 columns")
+        cells = cells64.astype(np.int32)
+        rec_ids = np.repeat(np.arange(len(records), dtype=np.int32), sizes)
+        rec_proc = np.array([r.proc for r in records], dtype=np.int32)
+        rec_is_write = np.array([r.is_write for r in records], dtype=bool)
+        n_write_refs = int(sizes[rec_is_write].sum())
+        return ColumnarTrace(
+            cells=cells,
+            rec_ids=rec_ids,
+            rec_proc=rec_proc,
+            rec_is_write=rec_is_write,
+            n_read_refs=int(sizes.sum()) - n_write_refs,
+            n_write_refs=n_write_refs,
+        )
+
+    # ------------------------------------------------------------------
+    def replay(self, n_procs: int, address_map: AddressMap) -> CoherenceStats:
+        """Replay through Write-Back-with-Invalidate; return traffic totals.
+
+        Bit-identical to
+        :func:`repro.memsim.coherence.simulate_trace` on the trace this
+        was built from (the scalar engine is the differential oracle).
+        """
+        if not (1 <= n_procs <= 63):
+            raise CoherenceError("n_procs must be in [1, 63]")
+        stats = CoherenceStats(line_size=address_map.line_size)
+        if self.cells.size == 0:
+            return stats
+        if int(self.rec_proc.min()) < 0 or int(self.rec_proc.max()) >= n_procs:
+            raise CoherenceError("trace references a processor out of range")
+        stats.n_read_refs = self.n_read_refs
+        stats.n_write_refs = self.n_write_refs
+
+        lines_all = self.cells // address_map.words_per_line
+
+        # One event per (record, line): a stable sort by line alone gives
+        # (line, record) order because rec_ids is non-decreasing in the
+        # flattened stream; ties then break by stream position, which is
+        # record order.  Events come out grouped by line, in global record
+        # order within each group.
+        order = np.argsort(lines_all, kind="stable")
+        l_sorted = lines_all[order]
+        r_sorted = self.rec_ids[order]
+        keep = np.empty(l_sorted.size, dtype=bool)
+        keep[0] = True
+        np.logical_or(
+            l_sorted[1:] != l_sorted[:-1],
+            r_sorted[1:] != r_sorted[:-1],
+            out=keep[1:],
+        )
+        if keep.all():
+            # Common at small line sizes (each record's cells are already
+            # distinct lines): skip two large boolean-index copies.
+            ev_line, ev_rec = l_sorted, r_sorted
+        else:
+            ev_line = l_sorted[keep]
+            ev_rec = r_sorted[keep]
+        ev_proc = self.rec_proc[ev_rec]
+        ev_write = self.rec_is_write[ev_rec]
+        m = ev_line.size
+        idx = np.arange(m, dtype=np.int32)
+        obs.incr("sim.coherence.columnar_events", m)
+
+        new_line = np.empty(m, dtype=bool)
+        new_line[0] = True
+        np.not_equal(ev_line[1:], ev_line[:-1], out=new_line[1:])
+        seg_start = np.where(new_line, idx, np.int32(0))
+        np.maximum.accumulate(seg_start, out=seg_start)
+
+        # j: position of the last write strictly before each event within
+        # its line group (-1 if none).  A running max of write positions
+        # never leaks across groups: earlier groups' indices fall below
+        # the group start.
+        ff = np.where(ev_write, idx, np.int32(-1))
+        np.maximum.accumulate(ff, out=ff)
+        j = np.empty(m, dtype=np.int32)
+        j[0] = -1
+        j[1:] = ff[:-1]
+        np.copyto(j, np.int32(-1), where=j < seg_start)
+
+        # Previous event by the same (line, proc), or -1: classifies
+        # misses as cold vs refetch and decides sharer membership.
+        # MAX_PROCS is 63, so (line, proc) packs into ``line * 64 + proc``
+        # — one stable int sort instead of a two-key lexsort — whenever
+        # the packed key cannot overflow (it never does for real grids;
+        # the lexsort fallback keeps huge synthetic traces correct).
+        max_line = int(l_sorted[-1])
+        if max_line < (1 << 24):
+            key = ev_line << np.int32(6)
+            key |= ev_proc
+            by_lp = np.argsort(key, kind="stable")
+            lp_key = key[by_lp]
+            same_lp = np.empty(m, dtype=bool)
+            same_lp[0] = False
+            np.equal(lp_key[1:], lp_key[:-1], out=same_lp[1:])
+        else:
+            by_lp = np.lexsort((ev_proc, ev_line))
+            lp_line = ev_line[by_lp]
+            lp_proc = ev_proc[by_lp]
+            same_lp = np.empty(m, dtype=bool)
+            same_lp[0] = False
+            same_lp[1:] = (lp_line[1:] == lp_line[:-1]) & (
+                lp_proc[1:] == lp_proc[:-1]
+            )
+        prev_in_sorted = np.empty(m, dtype=np.int64)
+        prev_in_sorted[0] = -1
+        prev_in_sorted[1:] = by_lp[:-1]
+        prev_lp = np.empty(m, dtype=np.int32)
+        prev_lp[by_lp] = np.where(same_lp, prev_in_sorted, np.int64(-1)).astype(
+            np.int32
+        )
+
+        # Sharer membership: a write resets the sharer set to the writer;
+        # reads since re-add their processor.  So p holds the line iff its
+        # previous access is at or after the last write.
+        jpos = j >= np.int32(0)
+        sharers_has_p = prev_lp >= np.maximum(j, np.int32(0))
+        miss = ~sharers_has_p
+
+        # Dirty-line tracking via run-length encoding of same-processor
+        # runs: the line written at j is still dirty at i iff events
+        # j..i-1 are one run by the writer (the first foreign access
+        # after a write misses and flushes).
+        run_break = new_line.copy()
+        run_break[1:] |= ev_proc[1:] != ev_proc[:-1]
+        run_start = np.where(run_break, idx, np.int32(0))
+        np.maximum.accumulate(run_start, out=run_start)
+        run_start_prev = np.empty(m, dtype=np.int32)
+        run_start_prev[0] = 0
+        run_start_prev[1:] = run_start[:-1]
+        prev_proc = np.empty(m, dtype=np.int32)
+        prev_proc[0] = -1
+        prev_proc[1:] = ev_proc[:-1]
+        dirty_alive = jpos & (run_start_prev <= j)
+        dirty_by_me = dirty_alive & (ev_proc == prev_proc)
+
+        read_miss = miss & ~ev_write
+        cold = read_miss & (prev_lp < 0)
+        writeback = miss & dirty_alive
+        word_write = ev_write & ~dirty_by_me
+
+        # Sharer counts before each event, from segmented prefix sums of
+        # read misses (each read miss adds exactly one sharer; a write
+        # resets the count to one).
+        rm = read_miss.astype(np.int32)
+        cum_excl = np.cumsum(rm, dtype=np.int32)
+        cum_excl -= rm
+        base = cum_excl[np.where(jpos, j, seg_start)]
+        n_sharers = jpos.astype(np.int32) + cum_excl - base
+        others = n_sharers - sharers_has_p.astype(np.int32)
+        inval = word_write & (others > 0)
+
+        ls = address_map.line_size
+        n_cold = int(np.count_nonzero(cold))
+        n_read_miss = int(np.count_nonzero(read_miss))
+        stats.cold_fetch_bytes = n_cold * ls
+        stats.refetch_bytes = (n_read_miss - n_cold) * ls
+        stats.write_miss_fetch_bytes = int(np.count_nonzero(ev_write & miss)) * ls
+        stats.writeback_bytes = int(np.count_nonzero(writeback)) * ls
+        stats.word_write_bytes = int(np.count_nonzero(word_write)) * WORD_BYTES
+        stats.n_invalidation_events = int(np.count_nonzero(inval))
+        stats.n_copies_invalidated = int(others[inval].sum())
+        return stats
+
+
+def simulate_trace_columnar(
+    trace: Union[ReferenceTrace, ColumnarTrace],
+    n_procs: int,
+    address_map: AddressMap,
+) -> CoherenceStats:
+    """Vectorised drop-in for :func:`repro.memsim.coherence.simulate_trace`.
+
+    Accepts either a :class:`~repro.memsim.trace.ReferenceTrace` or an
+    already-flattened :class:`ColumnarTrace` (pass the latter when
+    replaying the same trace at several line sizes — the Table 3 sweep —
+    so the flattening is paid once).
+    """
+    columnar = (
+        trace
+        if isinstance(trace, ColumnarTrace)
+        else ColumnarTrace.from_trace(trace)
+    )
+    return columnar.replay(n_procs, address_map)

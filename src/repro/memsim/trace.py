@@ -50,6 +50,10 @@ class ReferenceTrace:
     """
 
     records: List[TraceRecord] = field(default_factory=list)
+    # Cached global sort order (indices into ``records``); invalidated on
+    # append so repeated replays — the Table 3 line-size sweep replays the
+    # same trace once per line size — sort only once.
+    _sort_cache: List[int] = field(default=None, repr=False, compare=False)
 
     def add(self, time: float, proc: int, is_write: bool, flat_cells: np.ndarray) -> None:
         """Append one burst (empty bursts are dropped)."""
@@ -60,6 +64,7 @@ class ReferenceTrace:
         self.records.append(
             TraceRecord(time, proc, is_write, np.asarray(flat_cells, dtype=np.int64))
         )
+        self._sort_cache = None
 
     @property
     def n_records(self) -> int:
@@ -72,7 +77,14 @@ class ReferenceTrace:
         return sum(r.n_refs for r in self.records)
 
     def sorted_records(self) -> Iterator[TraceRecord]:
-        """Records in global ``(time, append sequence)`` order."""
-        indexed = sorted(range(len(self.records)), key=lambda i: (self.records[i].time, i))
-        for i in indexed:
+        """Records in global ``(time, append sequence)`` order.
+
+        The sort order is cached between calls (appending invalidates it),
+        since replay sweeps consume the same trace many times.
+        """
+        if self._sort_cache is None or len(self._sort_cache) != len(self.records):
+            self._sort_cache = sorted(
+                range(len(self.records)), key=lambda i: (self.records[i].time, i)
+            )
+        for i in self._sort_cache:
             yield self.records[i]

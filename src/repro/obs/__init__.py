@@ -10,6 +10,7 @@ See :mod:`repro.obs.telemetry` for the model.  Typical use::
     print(tel.count("sim.events"), tel.rate("sim.events", "sim.mp"))
 """
 
+from .profiling import PhaseRecord, PhaseTimer, hot_counters, profile_call
 from .telemetry import (
     Telemetry,
     get_telemetry,
@@ -21,9 +22,13 @@ from .telemetry import (
 )
 
 __all__ = [
+    "PhaseRecord",
+    "PhaseTimer",
     "Telemetry",
     "get_telemetry",
+    "hot_counters",
     "incr",
+    "profile_call",
     "record_span",
     "reset",
     "snapshot",

@@ -1,0 +1,140 @@
+"""Phase timing and profiling hooks for the performance harness.
+
+Three layers, from cheapest to heaviest:
+
+- :class:`PhaseTimer` — named wall/CPU phase timers for coarse breakdowns
+  (circuit build vs simulation vs coherence sweep).  Phases also report
+  into the global :mod:`~repro.obs.telemetry` spans as ``profile.<name>``
+  so they merge across worker processes like any other span.
+- :func:`hot_counters` — the telemetry counters the vectorised kernels
+  maintain on their hot paths (events replayed, columnar events, messages
+  switched), snapshotted as a plain dict for reports.
+- :func:`profile_call` — a :mod:`cProfile` hook around an arbitrary
+  callable, returning the callable's result together with the formatted
+  top-N table.  This is the heavy option: the profiler inflates
+  Python-call-dense code (the reference kernels) far more than
+  NumPy-dense code (the vectorised kernels), so use the wall-clock
+  numbers from :class:`PhaseTimer` or ``benchmarks/bench_perf_suite.py``
+  when comparing kernel modes, and ``profile_call`` only to find *where*
+  time goes inside one mode.
+
+Used by the ``locusroute profile`` subcommand and the performance
+regression suite (``benchmarks/bench_perf_suite.py``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from . import telemetry
+
+__all__ = ["PhaseRecord", "PhaseTimer", "hot_counters", "profile_call"]
+
+#: Counter names (prefixes) the kernels maintain on their hot paths.
+HOT_COUNTER_PREFIXES = ("sim.", "net.", "route.", "coherence.", "events.")
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One completed phase: name plus wall and CPU seconds."""
+
+    name: str
+    wall_s: float
+    cpu_s: float
+
+
+class PhaseTimer:
+    """Ordered wall/CPU timing of named phases.
+
+    ::
+
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            circuit = bnre_like()
+        with timer.phase("simulate"):
+            run_shared_memory(circuit)
+        print(timer.render())
+
+    Phases may repeat; each entry is kept (the report shows every
+    occurrence in order, which makes per-iteration drift visible).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[PhaseRecord] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase; also reported as telemetry span ``profile.<name>``."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall0
+            cpu = time.process_time() - cpu0
+            self.records.append(PhaseRecord(name, wall, cpu))
+            telemetry.record_span(f"profile.{name}", wall, cpu)
+
+    @property
+    def total_wall_s(self) -> float:
+        """Sum of all recorded phases' wall time."""
+        return sum(r.wall_s for r in self.records)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe summary (ordered phase list plus the total)."""
+        return {
+            "phases": [
+                {"name": r.name, "wall_s": r.wall_s, "cpu_s": r.cpu_s}
+                for r in self.records
+            ],
+            "total_wall_s": self.total_wall_s,
+        }
+
+    def render(self) -> str:
+        """Fixed-width phase table with share-of-total percentages."""
+        total = self.total_wall_s
+        width = max((len(r.name) for r in self.records), default=4)
+        lines = [f"{'phase':<{width}}  {'wall':>9}  {'cpu':>9}  {'share':>6}"]
+        for r in self.records:
+            share = (r.wall_s / total * 100.0) if total > 0 else 0.0
+            lines.append(
+                f"{r.name:<{width}}  {r.wall_s * 1e3:7.1f}ms  "
+                f"{r.cpu_s * 1e3:7.1f}ms  {share:5.1f}%"
+            )
+        lines.append(f"{'total':<{width}}  {total * 1e3:7.1f}ms")
+        return "\n".join(lines)
+
+
+def hot_counters() -> Dict[str, float]:
+    """Hot-path telemetry counters, filtered to the kernel namespaces."""
+    counters = telemetry.get_telemetry().counters
+    return {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(HOT_COUNTER_PREFIXES)
+    }
+
+
+def profile_call(
+    fn: Callable[[], Any], sort: str = "cumulative", top: int = 25
+) -> Tuple[Any, str]:
+    """Run *fn* under :mod:`cProfile`; return ``(result, stats_text)``.
+
+    ``sort`` is any :mod:`pstats` sort key (``cumulative``, ``tottime``,
+    ``calls``, ...); ``top`` limits the printed rows.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buf.getvalue()

@@ -40,7 +40,9 @@ from ..events.sim import Simulator
 from ..grid.cost_array import CostArray
 from ..grid.regions import RegionMap
 from ..memsim.addressing import AddressMap
+from ..kernels import active_kernels
 from ..memsim.coherence import simulate_trace
+from ..memsim.columnar import ColumnarTrace
 from ..memsim.update_protocol import simulate_trace_write_update
 from ..memsim.stats import CoherenceStats
 from ..memsim.tango import SharedLayout, TangoCollector
@@ -274,6 +276,16 @@ def run_shared_memory(
     coherence: Optional[CoherenceStats] = None
     by_line: Dict[int, CoherenceStats] = {}
     if collect_trace:
+        # The per-access invariant checker needs the scalar state machine;
+        # without it, the invalidate sweep runs on the columnar engine,
+        # flattening the trace once and replaying it per line size.
+        columnar = None
+        if (
+            protocol == "invalidate"
+            and report is None
+            and active_kernels() == "vectorized"
+        ):
+            columnar = ColumnarTrace.from_trace(tango.trace)
         for ls in [line_size, *extra_line_sizes]:
             if ls in by_line:
                 continue
@@ -284,6 +296,9 @@ def run_shared_memory(
                 extra_words=layout.total_words - layout.array_words,
             )
             if protocol == "invalidate":
+                if columnar is not None:
+                    by_line[ls] = columnar.replay(n_procs, amap)
+                    continue
                 checker = None
                 if report is not None:
                     from ..verify.invariants import CoherenceInvariantChecker

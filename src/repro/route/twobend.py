@@ -47,6 +47,7 @@ from ..circuits.model import Pin, Wire
 from ..errors import RoutingError
 from ..grid.bbox import BBox
 from ..grid.cost_array import CostArray
+from ..kernels import active_kernels
 from .path import RoutePath
 
 __all__ = [
@@ -55,6 +56,8 @@ __all__ = [
     "route_segment",
     "segment_cells",
     "route_wire",
+    "route_wire_reference",
+    "route_wire_vectorized",
     "MAX_CANDIDATES",
 ]
 
@@ -189,14 +192,7 @@ def route_segment(
 
     p1 = cost.row_prefix(c1)
     p2 = cost.row_prefix(c2)
-    if span + 1 <= MAX_CANDIDATES:
-        xv_all = np.arange(x1, x2 + 1, dtype=np.int64)
-    else:
-        # Strided candidate sampling for long segments; both endpoints are
-        # always candidates so degenerate detours are never forced.
-        xv_all = np.unique(
-            np.linspace(x1, x2, MAX_CANDIDATES).round().astype(np.int64)
-        )
+    xv_all = _candidate_columns(x1, x2)
     h1 = p1[xv_all + 1] - p1[x1]  # channel c1: x1 .. xv inclusive
     h2 = p2[x2 + 1] - p2[xv_all]  # channel c2: xv .. x2 inclusive
     interior = cost.column_range_sums(c_lo + 1, c_hi - 1, x1, x2)[xv_all - x1]
@@ -249,16 +245,81 @@ def segment_cells(a: Pin, b: Pin, xv: int, n_grids: int) -> np.ndarray:
     return np.concatenate(parts)
 
 
-def route_wire(cost: CostArray, wire: Wire, tie_break: int = 0) -> WireRoute:
-    """Route every segment of *wire* against *cost* and union the cells.
+def _candidate_columns(x1: int, x2: int) -> np.ndarray:
+    """Candidate vertical columns for a segment spanning ``[x1, x2]``."""
+    if x2 - x1 + 1 <= MAX_CANDIDATES:
+        return np.arange(x1, x2 + 1, dtype=np.int64)
+    # Strided candidate sampling for long segments; both endpoints are
+    # always candidates so degenerate detours are never forced.  The
+    # rounded linspace is already non-decreasing, so deduplication is a
+    # neighbour comparison rather than a full np.unique sort.
+    cols = np.linspace(x1, x2, MAX_CANDIDATES).round().astype(np.int64)
+    keep = np.empty(cols.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(cols[1:], cols[:-1], out=keep[1:])
+    return cols[keep]
 
-    The cost array is *not* modified; callers decide when to commit the
-    path (sequential router: immediately; parallel simulators: at the
-    wire's commit event).  The reported wire cost prices the *deduplicated*
-    footprint, so a cell crossed by two segments of the same wire counts
-    once — consistent with the one-increment-per-cell occupancy rule.
-    ``tie_break`` is forwarded to :func:`route_segment`.
+
+def _route_segment_cached(
+    cost: CostArray, a: Pin, b: Pin, tie_break: int
+) -> SegmentRoute:
+    """:func:`route_segment` evaluated against the shared prefix cache.
+
+    Row prefixes come from the cost array's write-invalidated row cache;
+    the interior block sum is the same slice reduction the reference
+    evaluator performs (a full column-prefix table loses here: every
+    commit dirties it, so it would rebuild per wire).  All sums are the
+    same int64 additions over the same entries, so the chosen column,
+    cost, and work accounting are bit-identical.
     """
+    x1, c1 = a.x, a.channel
+    x2, c2 = b.x, b.channel
+    c_lo, c_hi = (c1, c2) if c1 <= c2 else (c2, c1)
+    span = x2 - x1
+    p1 = cost.row_prefix(c1)
+
+    if c1 == c2:
+        run_cost = int(p1[x2 + 1] - p1[x1])
+        return SegmentRoute(
+            xv=x1,
+            cost=run_cost,
+            work_cells=span + 1,
+            read_box=BBox(c1, x1, c1, x2),
+            c1=c1,
+            x1=x1,
+            c2=c2,
+            x2=x2,
+            candidates=np.empty(0, dtype=np.int64),
+        )
+
+    p2 = cost.row_prefix(c2)
+    xv_all = _candidate_columns(x1, x2)
+    h1 = p1[xv_all + 1] - p1[x1]
+    h2 = p2[x2 + 1] - p2[xv_all]
+    interior = cost.column_range_sums(c_lo + 1, c_hi - 1, x1, x2)[xv_all - x1]
+    totals = h1 + h2 + interior
+    if tie_break == 0:
+        best = int(np.argmin(totals))  # first minimum: smallest xv
+    else:
+        best = int(totals.size - 1 - np.argmin(totals[::-1]))  # last minimum
+    n_interior = max(0, c_hi - c_lo - 1)
+    return SegmentRoute(
+        xv=int(xv_all[best]),
+        cost=int(totals[best]),
+        work_cells=int(xv_all.size) * (span + 2 + n_interior),
+        read_box=BBox(c_lo, x1, c_hi, x2),
+        c1=c1,
+        x1=x1,
+        c2=c2,
+        x2=x2,
+        candidates=xv_all,
+    )
+
+
+def route_wire_reference(
+    cost: CostArray, wire: Wire, tie_break: int = 0
+) -> WireRoute:
+    """Per-segment reference evaluation (the differential oracle)."""
     seg_routes: List[SegmentRoute] = []
     cell_parts: List[np.ndarray] = []
     work = 0
@@ -274,3 +335,57 @@ def route_wire(cost: CostArray, wire: Wire, tie_break: int = 0) -> WireRoute:
         work_cells=work,
         segments=tuple(seg_routes),
     )
+
+
+def route_wire_vectorized(
+    cost: CostArray, wire: Wire, tie_break: int = 0
+) -> WireRoute:
+    """Shared-prefix-table evaluation of the whole wire.
+
+    The reference evaluator rebuilds full-row prefix sums for *every*
+    segment; here the cost array's write-invalidated prefix cache
+    (:meth:`CostArray.enable_prefix_cache`) shares row prefix tables
+    across all segments of the wire — and across consecutive
+    :func:`route_wire` calls, since rip-up and reroute commits dirty only
+    the channels they touch.  Output is bit-identical to
+    :func:`route_wire_reference`.
+    """
+    if tie_break not in (0, 1):
+        raise RoutingError(f"tie_break must be 0 or 1, got {tie_break}")
+    cost.enable_prefix_cache()
+    seg_routes: List[SegmentRoute] = []
+    cell_parts: List[np.ndarray] = []
+    work = 0
+    for a, b in wire.segments():
+        if a.x > b.x:
+            raise RoutingError(f"segment pins out of order: {a} after {b}")
+        seg = _route_segment_cached(cost, a, b, tie_break)
+        seg_routes.append(seg)
+        cell_parts.append(segment_cells(a, b, seg.xv, cost.n_grids))
+        work += seg.work_cells
+    path = RoutePath.from_cells(np.concatenate(cell_parts), cost.n_grids)
+    return WireRoute(
+        path=path,
+        cost=cost.path_cost(path.flat_cells),
+        work_cells=work,
+        segments=tuple(seg_routes),
+    )
+
+
+def route_wire(cost: CostArray, wire: Wire, tie_break: int = 0) -> WireRoute:
+    """Route every segment of *wire* against *cost* and union the cells.
+
+    The cost array is *not* modified; callers decide when to commit the
+    path (sequential router: immediately; parallel simulators: at the
+    wire's commit event).  The reported wire cost prices the *deduplicated*
+    footprint, so a cell crossed by two segments of the same wire counts
+    once — consistent with the one-increment-per-cell occupancy rule.
+    ``tie_break`` is forwarded to the segment evaluator.
+
+    Dispatches on :func:`repro.kernels.active_kernels`: the vectorised
+    per-wire prefix-table kernel by default, the per-segment reference
+    kernel under ``reference`` mode.  Both produce bit-identical routes.
+    """
+    if active_kernels() == "vectorized":
+        return route_wire_vectorized(cost, wire, tie_break=tie_break)
+    return route_wire_reference(cost, wire, tie_break=tie_break)

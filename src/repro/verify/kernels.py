@@ -1,0 +1,143 @@
+"""Scalar-vs-vectorized kernel equivalence checks for ``locusroute verify``.
+
+The vectorised kernels (:mod:`repro.memsim.columnar`, the prefix-cached
+two-bend router, the batched wormhole reservation update) promise
+*bit-identical* output to their scalar reference counterparts.  The
+hypothesis suites fuzz that promise; this module re-verifies it at
+``locusroute verify`` time on workloads derived from the verify run's
+own circuit, so a verification sweep also certifies the kernel pair the
+simulators are about to dispatch to.
+
+Each check returns ``{"identical": bool, "detail": str}``; any
+non-identical check fails the overall verify verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..circuits.model import Circuit
+from ..grid.cost_array import CostArray
+from ..kernels import use_kernels
+
+__all__ = ["run_kernel_equivalence"]
+
+#: Line sizes swept by the coherence check (the Table 3 sweep's range).
+LINE_SIZES = (4, 8, 16, 32)
+
+
+def _coherence_check(circuit: Circuit, n_procs: int) -> Dict[str, object]:
+    """Scalar MSI replay vs columnar replay on a circuit-derived trace."""
+    from ..memsim.addressing import AddressMap
+    from ..memsim.coherence import simulate_trace
+    from ..memsim.columnar import ColumnarTrace, simulate_trace_columnar
+    from ..memsim.trace import ReferenceTrace
+
+    # A deterministic trace with real sharing: each wire's pin cells are
+    # touched by a processor chosen from the wire index, alternating
+    # read bursts with the occasional write burst (the cost-array update
+    # pattern the shared memory router produces).
+    trace = ReferenceTrace()
+    for idx in range(circuit.n_wires):
+        wire = circuit.wire(idx)
+        cells = np.array(
+            [pin.channel * circuit.n_grids + pin.x for pin in wire.pins],
+            dtype=np.int64,
+        )
+        trace.add(float(2 * idx), idx % n_procs, False, cells)
+        if idx % 3 == 0:
+            trace.add(float(2 * idx + 1), (idx + 1) % n_procs, True, cells)
+
+    columnar = ColumnarTrace.from_trace(trace)
+    diverged: List[int] = []
+    for ls in LINE_SIZES:
+        amap = AddressMap(circuit.n_channels, circuit.n_grids, ls)
+        if simulate_trace(trace, n_procs, amap) != simulate_trace_columnar(
+            columnar, n_procs, amap
+        ):
+            diverged.append(ls)
+    detail = (
+        f"{trace.n_records} bursts x line sizes {LINE_SIZES}"
+        if not diverged
+        else f"stats diverged at line sizes {diverged}"
+    )
+    return {"identical": not diverged, "detail": detail}
+
+
+def _twobend_check(circuit: Circuit, iterations: int) -> Dict[str, object]:
+    """Reference vs prefix-cached router through rip-up/reroute churn."""
+    from ..route.twobend import route_wire_reference, route_wire_vectorized
+
+    def churn(router) -> Tuple[bytes, Tuple]:
+        cost = CostArray(circuit.n_channels, circuit.n_grids)
+        paths = {}
+        cells: List[Tuple[int, ...]] = []
+        for iteration in range(iterations):
+            for idx in range(circuit.n_wires):
+                if idx in paths:
+                    cost.remove_path(paths[idx].flat_cells)
+                result = router(cost, circuit.wire(idx), tie_break=iteration % 2)
+                cost.apply_path(result.path.flat_cells)
+                paths[idx] = result.path
+                cells.append(tuple(result.path.flat_cells.tolist()))
+        return cost.data.tobytes(), tuple(cells)
+
+    ref = churn(route_wire_reference)
+    vec = churn(route_wire_vectorized)
+    identical = ref == vec
+    detail = (
+        f"{circuit.n_wires} wires x {iterations} rip-up/reroute iterations"
+        if identical
+        else "paths or final cost array diverged"
+    )
+    return {"identical": identical, "detail": detail}
+
+
+def _wormhole_check(n_procs: int) -> Dict[str, object]:
+    """Scalar vs batched link reservation over a deterministic burst."""
+    from ..events.sim import Simulator
+    from ..netsim.message import Message
+    from ..netsim.topology import MeshTopology
+    from ..netsim.wormhole import WormholeNetwork
+
+    n_messages = 200
+
+    def run() -> Tuple[Tuple[int, float, int], ...]:
+        sim = Simulator()
+        deliveries: List[object] = []
+        net = WormholeNetwork(sim, MeshTopology(n_procs), deliveries.append)
+        state = 0x9E3779B97F4A7C15
+        for i in range(n_messages):
+            state = (state * 6364136223846793005 + 1) & (2**64 - 1)
+            src = (state >> 40) % n_procs
+            dst = (state >> 20) % n_procs
+            net.send(Message(src, dst, 8 + (state >> 4) % 56, payload=i))
+        sim.run()
+        return tuple(
+            (d.message.payload, float(d.arrive_time), d.hops) for d in deliveries
+        )
+
+    with use_kernels("reference"):
+        ref = run()
+    with use_kernels("vectorized"):
+        vec = run()
+    identical = ref == vec
+    detail = (
+        f"{n_messages} messages on a {n_procs}-node mesh"
+        if identical
+        else "delivery times or hop counts diverged"
+    )
+    return {"identical": identical, "detail": detail}
+
+
+def run_kernel_equivalence(
+    circuit: Circuit, n_procs: int, iterations: int = 2
+) -> Dict[str, Dict[str, object]]:
+    """Run every kernel equivalence check; label -> {identical, detail}."""
+    return {
+        "coherence": _coherence_check(circuit, n_procs),
+        "twobend": _twobend_check(circuit, iterations),
+        "wormhole": _wormhole_check(max(n_procs, 9)),
+    }

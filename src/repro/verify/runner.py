@@ -8,6 +8,11 @@ mixed §5.1.3 schedule (sender + receiver packets interleaved) and a
 blocking receiver-initiated schedule (request/response plus the WAITING
 node state).  Every invariant checker in :mod:`repro.verify.invariants`
 fires on at least one of these runs.
+
+Finally the scalar-vs-vectorized kernel equivalence checks
+(:mod:`repro.verify.kernels`) replay the coherence, two-bend routing and
+wormhole reservation kernels in both modes and fail the verdict on any
+divergence.
 """
 
 from __future__ import annotations
@@ -42,12 +47,18 @@ class VerifyRun:
     oracle: OracleReport
     #: label -> verification summary for the extra checked MP runs.
     extra_runs: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: label -> scalar-vs-vectorized kernel equivalence results.
+    kernel_checks: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: Merged totals across the oracle and every extra run.
     combined: VerificationReport = field(default_factory=VerificationReport)
 
     @property
     def ok(self) -> bool:
-        return self.oracle.ok and self.combined.ok
+        return (
+            self.oracle.ok
+            and self.combined.ok
+            and all(c["identical"] for c in self.kernel_checks.values())
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -57,6 +68,7 @@ class VerifyRun:
             "iterations": self.iterations,
             "oracle": self.oracle.as_dict(),
             "extra_runs": self.extra_runs,
+            "kernel_checks": self.kernel_checks,
             "combined": self.combined.as_dict(),
         }
 
@@ -72,6 +84,11 @@ class VerifyRun:
                 f"  extra run [{label}]: {status} "
                 f"({summary.get('total_checks', 0)} checks, "
                 f"{summary.get('total_violations', 0)} violations)"
+            )
+        for label, check in self.kernel_checks.items():
+            status = "IDENTICAL" if check["identical"] else "DIVERGED"
+            lines.append(
+                f"  kernel equivalence [{label}]: {status} ({check['detail']})"
             )
         lines.append(
             "verdict: " + ("PASS" if self.ok else "FAIL")
@@ -125,4 +142,10 @@ def run_verification(
         if isinstance(run_ver, RunVerification):
             run.extra_runs[label] = run_ver.report.as_dict()
             run.combined.merge(run_ver.report)
+
+    from .kernels import run_kernel_equivalence
+
+    run.kernel_checks = run_kernel_equivalence(
+        circuit, n_procs=n_procs, iterations=iterations
+    )
     return run

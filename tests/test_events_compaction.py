@@ -1,0 +1,124 @@
+"""Tests for lazy-cancellation compaction in the event queue.
+
+Compaction is purely an internal storage optimisation; the observable
+contract is that pop order and results are unchanged (events are totally
+ordered by unique ``(time, seq)`` keys, so any heap over the same live
+set pops the same sequence).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.queue import EventQueue
+
+
+class LazyOnlyQueue(EventQueue):
+    """Pre-compaction behaviour for differential comparison."""
+
+    COMPACT_MIN = 1 << 60
+
+
+def drain_times(queue):
+    times = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return times
+        times.append((event.time, event.seq))
+
+
+class TestCompactionTrigger:
+    def test_small_heaps_never_compact(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(EventQueue.COMPACT_MIN - 1)]
+        for event in events:
+            q.cancel(event)
+        assert q.n_compactions == 0
+
+    def test_majority_dead_triggers_compaction(self):
+        q = EventQueue()
+        doomed = [q.push(float(i), lambda: None) for i in range(100)]
+        q.push(1000.0, lambda: None)
+        for event in doomed:
+            q.cancel(event)
+        assert q.n_compactions >= 1
+        # The physical heap shed the dead majority (later cancels may
+        # re-accumulate below the next trigger point).
+        assert len(q._heap) < 100
+        assert len(q) == 1
+
+    def test_len_tracks_live_events_through_compaction(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(200)]
+        for event in events[::2]:
+            q.cancel(event)
+        assert len(q) == 100
+
+    def test_cancel_after_fire_is_noop(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        assert q.pop() is event
+        q.cancel(event)
+        q.cancel(event)
+        assert q._n_cancelled_in_heap == 0
+
+    def test_compaction_preserves_pending_pop_order(self):
+        q, lazy = EventQueue(), LazyOnlyQueue()
+        handles_q, handles_l = [], []
+        for i in range(300):
+            t = float((i * 37) % 50)
+            handles_q.append(q.push(t, lambda: None))
+            handles_l.append(lazy.push(t, lambda: None))
+        for hq, hl in zip(handles_q[:220], handles_l[:220]):
+            q.cancel(hq)
+            lazy.cancel(hl)
+        assert q.n_compactions >= 1 and lazy.n_compactions == 0
+        assert drain_times(q) == drain_times(lazy)
+
+
+class TestCompactionEquivalence:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=300,
+        )
+    )
+    def test_pop_sequence_identical_with_and_without_compaction(self, ops):
+        q, lazy = EventQueue(), LazyOnlyQueue()
+        for time, doomed in ops:
+            eq = q.push(time, lambda: None)
+            el = lazy.push(time, lambda: None)
+            if doomed:
+                q.cancel(eq)
+                lazy.cancel(el)
+        assert drain_times(q) == drain_times(lazy)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=400))
+    def test_interleaved_pops_and_cancels(self, n):
+        q, lazy = EventQueue(), LazyOnlyQueue()
+        state = 12345
+        live_q, live_l = [], []
+        popped_q, popped_l = [], []
+        for i in range(n):
+            state = (state * 1103515245 + 12345) & (2**31 - 1)
+            t = q._last_popped + (state % 1000) / 10.0
+            live_q.append(q.push(t, lambda: None))
+            live_l.append(lazy.push(t, lambda: None))
+            if state % 3 == 0 and live_q:
+                k = state % len(live_q)
+                q.cancel(live_q.pop(k))
+                lazy.cancel(live_l.pop(k))
+            if state % 7 == 0:
+                eq, el = q.pop(), lazy.pop()
+                popped_q.append(None if eq is None else (eq.time, eq.seq))
+                popped_l.append(None if el is None else (el.time, el.seq))
+        assert popped_q == popped_l
+        assert drain_times(q) == drain_times(lazy)

@@ -1,0 +1,88 @@
+"""Tests for the profiling layer (phase timers, hot counters, cProfile hook)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.profiling import PhaseTimer, hot_counters, profile_call
+
+
+class TestPhaseTimer:
+    def test_records_phases_in_order(self):
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            pass
+        with timer.phase("simulate"):
+            pass
+        assert [r.name for r in timer.records] == ["build", "simulate"]
+        assert all(r.wall_s >= 0 and r.cpu_s >= 0 for r in timer.records)
+
+    def test_repeated_phases_keep_every_occurrence(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("iteration"):
+                pass
+        assert len(timer.records) == 3
+        assert timer.total_wall_s == sum(r.wall_s for r in timer.records)
+
+    def test_phase_recorded_even_when_body_raises(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            with timer.phase("boom"):
+                raise ValueError("x")
+        assert timer.records[0].name == "boom"
+
+    def test_reports_into_telemetry_spans(self):
+        obs.reset()
+        timer = PhaseTimer()
+        with timer.phase("spanned"):
+            pass
+        spans = obs.get_telemetry().spans
+        assert "profile.spanned" in spans
+
+    def test_as_dict_and_render(self):
+        timer = PhaseTimer()
+        with timer.phase("only"):
+            pass
+        d = timer.as_dict()
+        assert d["phases"][0]["name"] == "only"
+        assert "total_wall_s" in d
+        text = timer.render()
+        assert "only" in text and "share" in text
+
+    def test_render_empty_timer(self):
+        assert "total" in PhaseTimer().render()
+
+
+class TestHotCounters:
+    def test_filters_to_kernel_namespaces(self):
+        obs.reset()
+        obs.incr("sim.events", 5)
+        obs.incr("route.wires", 2)
+        obs.incr("unrelated.thing", 9)
+        counters = hot_counters()
+        assert counters == {"route.wires": 2, "sim.events": 5}
+
+    def test_real_run_populates_counters(self):
+        from repro.harness import run_experiment
+
+        obs.reset()
+        run_experiment("T6", quick=True)
+        counters = hot_counters()
+        assert any(name.startswith("sim.") for name in counters)
+
+
+class TestProfileCall:
+    def test_returns_result_and_stats(self):
+        result, stats = profile_call(lambda: sum(range(1000)))
+        assert result == 499500
+        assert "function calls" in stats
+
+    def test_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            profile_call(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+
+    def test_sort_and_top_forwarded(self):
+        _, stats = profile_call(lambda: [i**2 for i in range(100)], sort="calls", top=3)
+        assert stats  # formatted table produced

@@ -1,0 +1,181 @@
+"""Equivalence tests for the prefix-cached two-bend routing kernel.
+
+Contract: :func:`route_wire_vectorized` (shared, write-invalidated
+prefix tables) is bit-identical to :func:`route_wire_reference` (the
+per-segment oracle) — same chosen columns, same paths, same costs — for
+every wire, tie break, and any interleaving of cost-array mutations.
+The mutation sequences matter most: they exercise the cache
+invalidation hooks, which is where a stale-table bug would hide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Pin, Wire
+from repro.grid import BBox, CostArray
+from repro.kernels import active_kernels, set_kernels, use_kernels
+from repro.route import route_wire
+from repro.route.twobend import route_wire_reference, route_wire_vectorized
+
+N_CHANNELS = 8
+N_GRIDS = 24
+
+
+def assert_same_route(ref, vec):
+    assert ref.cost == vec.cost
+    assert ref.work_cells == vec.work_cells
+    assert np.array_equal(ref.path.flat_cells, vec.path.flat_cells)
+    assert tuple(s.xv for s in ref.segments) == tuple(s.xv for s in vec.segments)
+
+
+pin_strategy = st.builds(
+    Pin,
+    x=st.integers(min_value=0, max_value=N_GRIDS - 1),
+    channel=st.integers(min_value=0, max_value=N_CHANNELS - 1),
+)
+
+
+def wires(min_pins=2, max_pins=5):
+    return st.builds(
+        lambda pins, i: Wire(f"w{i}", pins),
+        st.lists(pin_strategy, min_size=min_pins, max_size=max_pins, unique=True),
+        st.integers(min_value=0, max_value=999),
+    )
+
+
+cost_grid = st.lists(
+    st.integers(min_value=0, max_value=9),
+    min_size=N_CHANNELS * N_GRIDS,
+    max_size=N_CHANNELS * N_GRIDS,
+)
+
+
+class TestSingleWireEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(cost_grid, wires(), st.integers(min_value=0, max_value=1))
+    def test_any_wire_any_costs(self, grid, wire, tie_break):
+        data = np.array(grid, dtype=np.int64).reshape(N_CHANNELS, N_GRIDS)
+        ref = route_wire_reference(
+            CostArray(N_CHANNELS, N_GRIDS, data=data.copy()), wire, tie_break
+        )
+        vec = route_wire_vectorized(
+            CostArray(N_CHANNELS, N_GRIDS, data=data.copy()), wire, tie_break
+        )
+        assert_same_route(ref, vec)
+
+    def test_routing_does_not_mutate_cost(self):
+        cost = CostArray(N_CHANNELS, N_GRIDS)
+        before = cost.data.copy()
+        route_wire_vectorized(cost, Wire("w", [Pin(2, 1), Pin(20, 6)]))
+        assert np.array_equal(cost.data, before)
+
+
+class TestEquivalenceUnderMutation:
+    """The cache-invalidation stress: mutations interleaved with routing."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(wires(), min_size=3, max_size=8),
+        st.randoms(use_true_random=False),
+    )
+    def test_ripup_reroute_churn(self, wire_list, rng):
+        ref_cost = CostArray(N_CHANNELS, N_GRIDS)
+        vec_cost = CostArray(N_CHANNELS, N_GRIDS)
+        ref_paths, vec_paths = {}, {}
+        for iteration in range(3):
+            for i, wire in enumerate(wire_list):
+                if i in ref_paths:
+                    ref_cost.remove_path(ref_paths[i].flat_cells)
+                    vec_cost.remove_path(vec_paths[i].flat_cells)
+                ref = route_wire_reference(ref_cost, wire, tie_break=iteration % 2)
+                vec = route_wire_vectorized(vec_cost, wire, tie_break=iteration % 2)
+                assert_same_route(ref, vec)
+                ref_cost.apply_path(ref.path.flat_cells)
+                vec_cost.apply_path(vec.path.flat_cells)
+                ref_paths[i], vec_paths[i] = ref.path, vec.path
+                # Remote-update traffic dirties a random box between
+                # routes, exercising accumulate/replace invalidation.
+                if rng.random() < 0.4:
+                    c0 = rng.randrange(N_CHANNELS - 1)
+                    x0 = rng.randrange(N_GRIDS - 2)
+                    box = BBox(c0, x0, c0 + 1, x0 + 2)
+                    deltas = np.ones((box.height, box.width), dtype=np.int64)
+                    ref_cost.accumulate(box, deltas)
+                    vec_cost.accumulate(box, deltas)
+        assert ref_cost == vec_cost
+
+    def test_replace_invalidates_cached_rows(self):
+        cost = CostArray(N_CHANNELS, N_GRIDS)
+        wire = Wire("w", [Pin(1, 0), Pin(22, 7)])
+        route_wire_vectorized(cost, wire)  # warm the prefix cache
+        box = BBox(0, 0, N_CHANNELS - 1, N_GRIDS - 1)
+        values = np.arange(N_CHANNELS * N_GRIDS, dtype=np.int64).reshape(
+            N_CHANNELS, N_GRIDS
+        )
+        cost.replace(box, values)
+        fresh = CostArray(N_CHANNELS, N_GRIDS, data=values.copy())
+        assert_same_route(
+            route_wire_reference(fresh, wire), route_wire_vectorized(cost, wire)
+        )
+
+    def test_row_prefix_matches_recompute_after_mutations(self):
+        cost = CostArray(N_CHANNELS, N_GRIDS)
+        cost.enable_prefix_cache()
+        for channel in range(N_CHANNELS):
+            cost.row_prefix(channel)  # populate every cached row
+        path = np.array([1 * N_GRIDS + 3, 1 * N_GRIDS + 4, 2 * N_GRIDS + 4])
+        cost.apply_path(path)
+        for channel in range(N_CHANNELS):
+            expected = np.zeros(N_GRIDS + 1, dtype=np.int64)
+            np.cumsum(cost.data[channel], out=expected[1:])
+            assert np.array_equal(cost.row_prefix(channel), expected)
+
+
+class TestBlockPrefixTables:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cost_grid,
+        st.integers(min_value=0, max_value=N_CHANNELS - 1),
+        st.integers(min_value=0, max_value=N_CHANNELS - 1),
+        st.integers(min_value=0, max_value=N_GRIDS - 1),
+        st.integers(min_value=0, max_value=N_GRIDS - 1),
+    )
+    def test_rectangle_sums(self, grid, c0, c1, x0, x1):
+        c_lo, c_hi = min(c0, c1), max(c0, c1)
+        x_lo, x_hi = min(x0, x1), max(x0, x1)
+        data = np.array(grid, dtype=np.int64).reshape(N_CHANNELS, N_GRIDS)
+        cost = CostArray(N_CHANNELS, N_GRIDS, data=data.copy())
+        rowp, colp = cost.block_prefix_tables(c_lo, c_hi, x_lo, x_hi)
+        block = data[c_lo : c_hi + 1, x_lo : x_hi + 1]
+        rows, width = block.shape
+        for r in range(rows):
+            assert rowp[r, width] - rowp[r, 0] == block[r].sum()
+        for x in range(width):
+            assert colp[rows, x] - colp[0, x] == block[:, x].sum()
+
+
+class TestKernelDispatch:
+    def test_route_wire_dispatches_on_mode(self):
+        cost = CostArray(N_CHANNELS, N_GRIDS)
+        wire = Wire("w", [Pin(0, 0), Pin(10, 5), Pin(23, 2)])
+        with use_kernels("reference"):
+            ref = route_wire(cost, wire)
+        with use_kernels("vectorized"):
+            vec = route_wire(cost, wire)
+        assert_same_route(ref, vec)
+
+    def test_use_kernels_restores_mode(self):
+        assert active_kernels() == "vectorized"
+        with use_kernels("reference"):
+            assert active_kernels() == "reference"
+        assert active_kernels() == "vectorized"
+
+    def test_set_kernels_rejects_unknown(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            set_kernels("turbo")
