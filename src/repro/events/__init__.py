@@ -1,6 +1,7 @@
 """Deterministic discrete-event kernel shared by both architecture simulators."""
 
+from .columnar import ColumnarEventQueue
 from .queue import Event, EventQueue
 from .sim import Simulator
 
-__all__ = ["Event", "EventQueue", "Simulator"]
+__all__ = ["ColumnarEventQueue", "Event", "EventQueue", "Simulator"]

@@ -39,8 +39,11 @@ class Event:
 class EventQueue:
     """Min-heap of :class:`Event` with monotonic pop times."""
 
-    #: Compaction floor: heaps smaller than this are never compacted
-    #: (filtering a tiny heap costs more than skipping its dead entries).
+    #: Compaction floor on the *dead count*: no compaction happens until at
+    #: least this many cancelled entries linger in the heap (filtering a
+    #: heap to shed a handful of dead entries costs more than skipping
+    #: them).  The heap size only enters through the majority condition in
+    #: :meth:`cancel` — dead entries must also outnumber the live ones.
     COMPACT_MIN = 64
 
     def __init__(self) -> None:
@@ -107,9 +110,32 @@ class EventQueue:
             return event
         return None
 
+    def pop_next(self) -> Optional[Tuple[float, Callable[[], Any]]]:
+        """Pop the earliest live event as a ``(time, action)`` pair.
+
+        The queue-protocol form of :meth:`pop` shared with
+        :class:`~repro.events.columnar.ColumnarEventQueue`: the simulator
+        loop only needs the fire time and the callback, not the handle.
+        """
+        event = self.pop()
+        if event is None:
+            return None
+        return event.time, event.action
+
     def peek_time(self) -> Optional[float]:
-        """Time of the earliest live event without popping it."""
+        """Time of the earliest live event without popping it.
+
+        A cancelled head is removed through the same compaction heuristic
+        :meth:`cancel` uses: once :data:`COMPACT_MIN` dead entries have
+        accumulated, one :meth:`_compact` sheds them all.  Draining them
+        one heappop at a time would make a peek-heavy caller (the
+        simulator main loop peeks every step) pay O(dead log n) after
+        retry churn leaves a dead prefix at the top of the heap.
+        """
         while self._heap and self._heap[0].cancelled:
+            if self._n_cancelled_in_heap >= self.COMPACT_MIN:
+                self._compact()
+                break
             heapq.heappop(self._heap)
             self._n_cancelled_in_heap -= 1
         return self._heap[0].time if self._heap else None

@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..kernels import active_kernels
 from ..obs import telemetry as obs
-from .queue import Event, EventQueue
+from .columnar import ColumnarEventQueue
+from .queue import EventQueue
 
 __all__ = ["Simulator"]
 
@@ -21,10 +23,20 @@ class Simulator:
     """Event loop with a virtual clock.
 
     The clock starts at 0.0 and only moves forward, driven by event pops.
+
+    The queue implementation is chosen by the kernel mode at construction
+    time: :class:`ColumnarEventQueue` (scalar sort keys, C-speed heap
+    comparisons) under ``vectorized``, :class:`EventQueue` (the per-event
+    dataclass reference) under ``reference``.  Both pop in the same
+    ``(time, seq)`` order, so the choice never changes simulation results
+    — ``locusroute verify`` and the bench suite replay both to prove it.
     """
 
     def __init__(self) -> None:
-        self._queue = EventQueue()
+        if active_kernels() == "vectorized":
+            self._queue = ColumnarEventQueue()
+        else:
+            self._queue = EventQueue()
         self._now = 0.0
         self._steps = 0
         self._probes: list = []
@@ -39,18 +51,23 @@ class Simulator:
         """Number of events executed so far."""
         return self._steps
 
-    def at(self, time: float, action: Callable[[], Any]) -> Event:
-        """Schedule *action* at absolute virtual *time*."""
+    def at(self, time: float, action: Callable[[], Any]) -> object:
+        """Schedule *action* at absolute virtual *time*.
+
+        Returns an opaque cancellable handle (an :class:`Event` under the
+        reference queue, a key tuple under the columnar queue); pass it
+        back to :meth:`cancel`, do not inspect it.
+        """
         return self._queue.push(time, action)
 
-    def after(self, delay: float, action: Callable[[], Any]) -> Event:
+    def after(self, delay: float, action: Callable[[], Any]) -> object:
         """Schedule *action* ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self._queue.push(self._now + delay, action)
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
+    def cancel(self, event: object) -> None:
+        """Cancel a previously scheduled event by its handle."""
         self._queue.cancel(event)
 
     def add_probe(self, action: Callable[[], Any], interval: int) -> None:
@@ -80,21 +97,28 @@ class Simulator:
         nothing per-event), including when an event's action raises.
         """
         steps_before = self._steps
+        queue = self._queue
+        bounded = until is not None
         try:
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                if bounded:
+                    # Only a time-bounded run needs to look before leaping;
+                    # the common unbounded run pops directly, halving the
+                    # heap traffic per event.
+                    next_time = queue.peek_time()
+                    if next_time is None:
+                        return self._now
+                    if next_time > until:
+                        self._now = until
+                        return self._now
+                nxt = queue.pop_next()
+                if nxt is None:
                     return self._now
-                if until is not None and next_time > until:
-                    self._now = until
-                    return self._now
-                event = self._queue.pop()
-                assert event is not None
-                self._now = event.time
+                self._now, action = nxt
                 self._steps += 1
                 if self._steps > max_steps:
                     raise SimulationError(f"simulation exceeded {max_steps} events")
-                event.action()
+                action()
                 if self._probes:
                     for interval, probe in self._probes:
                         if self._steps % interval == 0:

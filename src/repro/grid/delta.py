@@ -17,12 +17,15 @@ memory version pays coherence traffic for every individual write (§5.2).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import GridError
 from .bbox import BBox
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .regions import RegionMap
 
 __all__ = ["DeltaArray"]
 
@@ -30,7 +33,7 @@ __all__ = ["DeltaArray"]
 class DeltaArray:
     """Signed change counts with the same shape as the cost array."""
 
-    __slots__ = ("n_channels", "n_grids", "_data")
+    __slots__ = ("n_channels", "n_grids", "_data", "_touched")
 
     def __init__(self, n_channels: int, n_grids: int) -> None:
         if n_channels < 1 or n_grids < 1:
@@ -38,6 +41,11 @@ class DeltaArray:
         self.n_channels = n_channels
         self.n_grids = n_grids
         self._data = np.zeros((n_channels, n_grids), dtype=np.int32)
+        # Flat indices of cells written since the last owner scan.  Every
+        # nonzero cell is in here (writes append; clears only zero cells,
+        # and zeroed entries are filtered out at scan time), which lets
+        # :meth:`dirty_bboxes_by_owner` avoid a full-grid nonzero sweep.
+        self._touched: List[np.ndarray] = []
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -59,6 +67,7 @@ class DeltaArray:
         if flat_cells.size == 0:
             return
         self._data.reshape(-1)[flat_cells] += delta
+        self._touched.append(flat_cells)
 
     def region_dirty_bbox(self, region: BBox) -> Optional[BBox]:
         """Bounding box of nonzero deltas *inside* ``region``.
@@ -81,6 +90,63 @@ class DeltaArray:
             local.x_hi + region.x_lo,
         )
 
+    def dirty_bboxes_by_owner(self, regions: "RegionMap") -> Dict[int, BBox]:
+        """Dirty bounding box of every processor's region, in one scan.
+
+        Equivalent to calling :meth:`region_dirty_bbox` for each region of
+        *regions* (owned regions partition the grid, so grouping dirty
+        cells by owner yields exactly the per-region dirty boxes), but the
+        incremental write log replaces ``n_procs`` region slices — the
+        dominant cost of the sender-initiated update push when most
+        regions are clean.  Clean regions are simply absent from the
+        returned dict.
+        """
+        touched = self._touched
+        if not touched:
+            return {}
+        cand = touched[0] if len(touched) == 1 else np.concatenate(touched)
+        cand = np.sort(cand)
+        if cand.size > 1:
+            # Consecutive-duplicate mask: cheaper than np.unique and the
+            # input is a concatenation of already-sorted runs.
+            keep = np.empty(cand.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(cand[1:], cand[:-1], out=keep[1:])
+            cand = cand[keep]
+        live = cand[self._data.reshape(-1)[cand] != 0]
+        # The live set replaces the write log: it is exactly the nonzero
+        # cells, so the tracking invariant holds for the next scan.
+        self._touched = [live] if live.size else []
+        if live.size == 0:
+            return {}
+        # np.unique sorts ascending flat indices == row-major scan order,
+        # matching what np.nonzero over the full grid would yield.
+        cc, xx = np.divmod(live, self.n_grids)
+        owners = regions.owners_of_cells(cc, xx)
+        first = int(owners[0])
+        if owners[-1] == first and np.all(owners == first):
+            # Single dirty region — the common case for a locally routed
+            # wire; nonzero order is row-major, so channels are sorted.
+            return {
+                first: BBox(int(cc[0]), int(xx.min()), int(cc[-1]), int(xx.max()))
+            }
+        order = np.argsort(owners, kind="stable")
+        owners_s = owners[order]
+        cc_s = cc[order]
+        xx_s = xx[order]
+        uniq, starts = np.unique(owners_s, return_index=True)
+        # np.nonzero walks row-major, so within each owner group the
+        # channel coordinates stay sorted; only x needs a group min/max.
+        x_lo = np.minimum.reduceat(xx_s, starts)
+        x_hi = np.maximum.reduceat(xx_s, starts)
+        ends = np.append(starts[1:], owners_s.size) - 1
+        return {
+            int(owner): BBox(
+                int(cc_s[s]), int(x_lo[k]), int(cc_s[e]), int(x_hi[k])
+            )
+            for k, (owner, s, e) in enumerate(zip(uniq, starts, ends))
+        }
+
     def accumulate(self, box: BBox, deltas: np.ndarray) -> None:
         """Fold received relative *deltas* into a bbox of this array.
 
@@ -98,6 +164,9 @@ class DeltaArray:
             )
         rows, cols = box.slices()
         self._data[rows, cols] += deltas
+        dc, dx = np.nonzero(deltas)
+        if dc.size:
+            self._touched.append((dc + box.c_lo) * self.n_grids + (dx + box.x_lo))
 
     def extract(self, box: BBox) -> np.ndarray:
         """Copy the delta values of a bbox (payload of SendRmtData)."""

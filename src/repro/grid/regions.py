@@ -103,6 +103,22 @@ class RegionMap:
         self._grid_band = (
             np.searchsorted(self._col_edges, np.arange(n_grids), side="right") - 1
         )
+        # Regions are immutable once the edges are fixed; build each BBox
+        # once instead of on every region() call (the MP update push asks
+        # for every region between every pair of wires).
+        self._regions: List[BBox] = [
+            BBox(
+                int(self._row_edges[p // p_cols]),
+                int(self._col_edges[p % p_cols]),
+                int(self._row_edges[p // p_cols + 1] - 1),
+                int(self._col_edges[p % p_cols + 1] - 1),
+            )
+            for p in range(n_procs)
+        ]
+        # regions_touched memo: wires keep the same bbox across rip-up /
+        # reroute iterations, so the MP nodes ask for the same few boxes
+        # over and over.  Bounded by the number of distinct wire bboxes.
+        self._touched_cache: dict = {}
 
     # ------------------------------------------------------------------
     # processor <-> mesh coordinates
@@ -146,18 +162,13 @@ class RegionMap:
     # regions and owners
     # ------------------------------------------------------------------
     def region(self, proc: int) -> BBox:
-        """The owned region of processor *proc*."""
-        row, col = self.proc_coords(proc)
-        return BBox(
-            int(self._row_edges[row]),
-            int(self._col_edges[col]),
-            int(self._row_edges[row + 1] - 1),
-            int(self._col_edges[col + 1] - 1),
-        )
+        """The owned region of processor *proc* (precomputed, immutable)."""
+        self._check_proc(proc)
+        return self._regions[proc]
 
     def all_regions(self) -> List[BBox]:
         """Owned regions indexed by processor id."""
-        return [self.region(p) for p in range(self.n_procs)]
+        return list(self._regions)
 
     def owner_of(self, channel: int, x: int) -> int:
         """Owner processor of cell ``(channel, x)``."""
@@ -171,7 +182,7 @@ class RegionMap:
         """Vectorised :meth:`owner_of` over coordinate arrays."""
         return (
             self._channel_band[cells_c] * self.p_cols + self._grid_band[cells_x]
-        ).astype(np.int64)
+        ).astype(np.int64, copy=False)
 
     def regions_touched(self, box: BBox) -> List[int]:
         """All processors whose owned region intersects *box*.
@@ -180,17 +191,22 @@ class RegionMap:
         regions contain the wire" (§4.3.3) — the wire's bounding box is
         intersected with the region grid.
         """
+        cached = self._touched_cache.get(box)
+        if cached is not None:
+            return cached
         if box.c_hi >= self.n_channels or box.x_hi >= self.n_grids:
             raise GridError(f"bbox {box} exceeds grid")
         band_lo = int(self._channel_band[box.c_lo])
         band_hi = int(self._channel_band[box.c_hi])
         col_lo = int(self._grid_band[box.x_lo])
         col_hi = int(self._grid_band[box.x_hi])
-        return [
+        touched = [
             self.proc_at(r, c)
             for r in range(band_lo, band_hi + 1)
             for c in range(col_lo, col_hi + 1)
         ]
+        self._touched_cache[box] = touched
+        return touched
 
     def _check_proc(self, proc: int) -> None:
         if not (0 <= proc < self.n_procs):

@@ -43,6 +43,7 @@ from ..grid.bbox import BBox
 from ..grid.cost_array import CostArray
 from ..grid.delta import DeltaArray
 from ..grid.regions import RegionMap
+from ..kernels import active_kernels
 from ..route.path import RoutePath
 from ..route.twobend import route_wire
 from ..route.workmodel import (
@@ -523,15 +524,38 @@ class MPNode:
         self._chg_loc = [0, 0]
 
     def _send_rmt_data(self) -> None:
-        """Push accumulated deltas of every remote region to its owner."""
+        """Push accumulated deltas of every remote region to its owner.
+
+        Under the vectorised kernels the per-region delta scans collapse
+        into one :meth:`DeltaArray.dirty_bboxes_by_owner` pass; packets,
+        ordering, and accounted scan work are identical either way (the
+        simulated scan cost models the original program's full sweep).
+        """
         scan_area = self._total_area - self.own_region.area
         self.work.add_scan(scan_area)
         self.clock += self.cost_model.work_time(SCAN_CELL_UNITS * scan_area)
+        if active_kernels() == "vectorized":
+            dirty_by_owner = self.delta.dirty_bboxes_by_owner(self.regions)
+        else:
+            dirty_by_owner = None
         for owner in range(self.regions.n_procs):
             if owner == self.proc:
                 continue
             region = self.regions.region(owner)
-            packet = build_rmt_data(self.proc, owner, self.delta, region)
+            if dirty_by_owner is None:
+                packet = build_rmt_data(self.proc, owner, self.delta, region)
+            else:
+                dirty = dirty_by_owner.get(owner)
+                packet = None
+                if dirty is not None:
+                    packet = UpdatePacket(
+                        kind=UpdateKind.SEND_RMT_DATA,
+                        src=self.proc,
+                        dst=owner,
+                        bbox=dirty,
+                        values=self.delta.extract(dirty),
+                        region_owner=owner,
+                    )
             if packet is None:
                 continue
             if self.schedule.packet_structure is PacketStructure.FULL_REGION:

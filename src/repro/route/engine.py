@@ -22,9 +22,11 @@ from typing import Dict, List, Optional, Sequence
 from ..circuits.model import Circuit
 from ..errors import RoutingError
 from ..grid.cost_array import CostArray
+from ..kernels import active_kernels
 from .path import RoutePath
 from .quality import QualityReport, circuit_height
 from .twobend import WireRoute, route_wire
+from .wavefront import route_iteration_wavefront
 
 __all__ = ["SequentialRouter", "SequentialResult", "DEFAULT_ITERATIONS"]
 
@@ -86,17 +88,30 @@ class SequentialRouter:
         heights: List[int] = []
         occupancy = 0
 
+        wavefront = active_kernels() == "vectorized" and circuit.n_wires > 0
         for iteration in range(self.iterations):
-            occupancy = 0
-            for wire_idx in order:
-                wire = circuit.wire(wire_idx)
-                if wire_idx in paths:
-                    cost.remove_path(paths[wire_idx].flat_cells)
-                result: WireRoute = route_wire(cost, wire, tie_break=iteration % 2)
-                total_work += result.work_cells
-                occupancy += result.cost
-                cost.apply_path(result.path.flat_cells)
-                paths[wire_idx] = result.path
+            if wavefront:
+                # Batched wave-front routing: partitions this iteration's
+                # wires into independence classes and routes each class in
+                # one fused evaluation.  Bit-identical to the scalar loop
+                # below (locusroute verify replays both).
+                occupancy, work = route_iteration_wavefront(
+                    cost, circuit, order, paths, tie_break=iteration % 2
+                )
+                total_work += work
+            else:
+                occupancy = 0
+                for wire_idx in order:
+                    wire = circuit.wire(wire_idx)
+                    if wire_idx in paths:
+                        cost.remove_path(paths[wire_idx].flat_cells)
+                    result: WireRoute = route_wire(
+                        cost, wire, tie_break=iteration % 2
+                    )
+                    total_work += result.work_cells
+                    occupancy += result.cost
+                    cost.apply_path(result.path.flat_cells)
+                    paths[wire_idx] = result.path
             heights.append(circuit_height(cost))
 
         quality = QualityReport(

@@ -54,6 +54,20 @@ class RoutePath:
         """Build a path from possibly unsorted / duplicated cell indices."""
         return RoutePath(np.unique(np.asarray(flat_cells, dtype=np.int64)), n_grids)
 
+    @staticmethod
+    def _trusted(flat_cells: np.ndarray, n_grids: int) -> "RoutePath":
+        """Construct without validation.
+
+        For callers that produce sorted unique int64 cells by construction
+        (the wave-front path builder assembles segment runs in ascending
+        flat order); skips the ``__post_init__`` scan on the per-wire
+        hot path.
+        """
+        path = object.__new__(RoutePath)
+        object.__setattr__(path, "flat_cells", flat_cells)
+        object.__setattr__(path, "n_grids", n_grids)
+        return path
+
     @property
     def n_cells(self) -> int:
         """Number of distinct cells the path occupies."""
@@ -65,9 +79,16 @@ class RoutePath:
         return channels, xs
 
     def bbox(self) -> BBox:
-        """Bounding box of the path's cells."""
-        channels, xs = self.coords()
-        return BBox(int(channels[0]), int(xs.min()), int(channels[-1]), int(xs.max()))
+        """Bounding box of the path's cells (computed once; paths are
+        immutable and the MP nodes ask per commit)."""
+        cached = getattr(self, "_bbox", None)
+        if cached is None:
+            channels, xs = self.coords()
+            cached = BBox(
+                int(channels[0]), int(xs.min()), int(channels[-1]), int(xs.max())
+            )
+            object.__setattr__(self, "_bbox", cached)
+        return cached
 
     def overlap_cells(self, other: "RoutePath") -> int:
         """Number of cells shared with *other* (sorted intersection)."""

@@ -39,7 +39,7 @@ the naive footprint: every cell of the segment's bounding rectangle is read.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 import numpy as np
 
@@ -150,25 +150,22 @@ class WireRoute:
         return [s.read_box for s in self.segments]
 
 
-def route_segment(
-    cost: CostArray, a: Pin, b: Pin, tie_break: int = 0
+def _evaluate_segment(
+    cost: CostArray,
+    a: Pin,
+    b: Pin,
+    tie_break: int,
+    row_prefix: Callable[[int], np.ndarray],
 ) -> SegmentRoute:
-    """Choose the cheapest two-bend route between pins *a* and *b*.
+    """Shared two-bend evaluation body, parameterized by the prefix provider.
 
-    Requires ``a.x <= b.x`` (wires store pins sorted).
-
-    ``tie_break`` selects which of several equal-cost candidate columns
-    wins: 0 takes the smallest ``xv``, 1 the largest.  The rip-up/reroute
-    engines alternate this per iteration, modelling the route churn of the
-    original program (whose candidate scan order made equal-cost choices
-    unstable between iterations); a fixed deterministic winner would let
-    consecutive iterations re-pick identical paths, and the delta-array
-    cancellation (§5.2) would then erase nearly all update traffic.
+    ``row_prefix`` supplies the exclusive prefix-sum row for a channel —
+    :meth:`CostArray.row_prefix` recomputes or serves its cache depending
+    on the array's cache state, and alternative providers (a snapshot, a
+    shared table) slot in without duplicating the tie-break argmin or the
+    work accounting.  Every caller therefore picks the same column, cost,
+    and work for the same array contents.
     """
-    if a.x > b.x:
-        raise RoutingError(f"segment pins out of order: {a} after {b}")
-    if tie_break not in (0, 1):
-        raise RoutingError(f"tie_break must be 0 or 1, got {tie_break}")
     x1, c1 = a.x, a.channel
     x2, c2 = b.x, b.channel
     c_lo, c_hi = (c1, c2) if c1 <= c2 else (c2, c1)
@@ -176,7 +173,7 @@ def route_segment(
 
     if c1 == c2:
         # Straight run inside one channel: no bend choice to make.
-        p = cost.row_prefix(c1)
+        p = row_prefix(c1)
         run_cost = int(p[x2 + 1] - p[x1])
         return SegmentRoute(
             xv=x1,
@@ -190,8 +187,8 @@ def route_segment(
             candidates=np.empty(0, dtype=np.int64),
         )
 
-    p1 = cost.row_prefix(c1)
-    p2 = cost.row_prefix(c2)
+    p1 = row_prefix(c1)
+    p2 = row_prefix(c2)
     xv_all = _candidate_columns(x1, x2)
     h1 = p1[xv_all + 1] - p1[x1]  # channel c1: x1 .. xv inclusive
     h2 = p2[x2 + 1] - p2[xv_all]  # channel c2: xv .. x2 inclusive
@@ -215,6 +212,28 @@ def route_segment(
         x2=x2,
         candidates=xv_all,
     )
+
+
+def route_segment(
+    cost: CostArray, a: Pin, b: Pin, tie_break: int = 0
+) -> SegmentRoute:
+    """Choose the cheapest two-bend route between pins *a* and *b*.
+
+    Requires ``a.x <= b.x`` (wires store pins sorted).
+
+    ``tie_break`` selects which of several equal-cost candidate columns
+    wins: 0 takes the smallest ``xv``, 1 the largest.  The rip-up/reroute
+    engines alternate this per iteration, modelling the route churn of the
+    original program (whose candidate scan order made equal-cost choices
+    unstable between iterations); a fixed deterministic winner would let
+    consecutive iterations re-pick identical paths, and the delta-array
+    cancellation (§5.2) would then erase nearly all update traffic.
+    """
+    if a.x > b.x:
+        raise RoutingError(f"segment pins out of order: {a} after {b}")
+    if tie_break not in (0, 1):
+        raise RoutingError(f"tie_break must be 0 or 1, got {tie_break}")
+    return _evaluate_segment(cost, a, b, tie_break, cost.row_prefix)
 
 
 def segment_cells(a: Pin, b: Pin, xv: int, n_grids: int) -> np.ndarray:
@@ -260,62 +279,6 @@ def _candidate_columns(x1: int, x2: int) -> np.ndarray:
     return cols[keep]
 
 
-def _route_segment_cached(
-    cost: CostArray, a: Pin, b: Pin, tie_break: int
-) -> SegmentRoute:
-    """:func:`route_segment` evaluated against the shared prefix cache.
-
-    Row prefixes come from the cost array's write-invalidated row cache;
-    the interior block sum is the same slice reduction the reference
-    evaluator performs (a full column-prefix table loses here: every
-    commit dirties it, so it would rebuild per wire).  All sums are the
-    same int64 additions over the same entries, so the chosen column,
-    cost, and work accounting are bit-identical.
-    """
-    x1, c1 = a.x, a.channel
-    x2, c2 = b.x, b.channel
-    c_lo, c_hi = (c1, c2) if c1 <= c2 else (c2, c1)
-    span = x2 - x1
-    p1 = cost.row_prefix(c1)
-
-    if c1 == c2:
-        run_cost = int(p1[x2 + 1] - p1[x1])
-        return SegmentRoute(
-            xv=x1,
-            cost=run_cost,
-            work_cells=span + 1,
-            read_box=BBox(c1, x1, c1, x2),
-            c1=c1,
-            x1=x1,
-            c2=c2,
-            x2=x2,
-            candidates=np.empty(0, dtype=np.int64),
-        )
-
-    p2 = cost.row_prefix(c2)
-    xv_all = _candidate_columns(x1, x2)
-    h1 = p1[xv_all + 1] - p1[x1]
-    h2 = p2[x2 + 1] - p2[xv_all]
-    interior = cost.column_range_sums(c_lo + 1, c_hi - 1, x1, x2)[xv_all - x1]
-    totals = h1 + h2 + interior
-    if tie_break == 0:
-        best = int(np.argmin(totals))  # first minimum: smallest xv
-    else:
-        best = int(totals.size - 1 - np.argmin(totals[::-1]))  # last minimum
-    n_interior = max(0, c_hi - c_lo - 1)
-    return SegmentRoute(
-        xv=int(xv_all[best]),
-        cost=int(totals[best]),
-        work_cells=int(xv_all.size) * (span + 2 + n_interior),
-        read_box=BBox(c_lo, x1, c_hi, x2),
-        c1=c1,
-        x1=x1,
-        c2=c2,
-        x2=x2,
-        candidates=xv_all,
-    )
-
-
 def route_wire_reference(
     cost: CostArray, wire: Wire, tie_break: int = 0
 ) -> WireRoute:
@@ -340,36 +303,26 @@ def route_wire_reference(
 def route_wire_vectorized(
     cost: CostArray, wire: Wire, tie_break: int = 0
 ) -> WireRoute:
-    """Shared-prefix-table evaluation of the whole wire.
+    """Fused whole-wire evaluation (one prefix-table build per wire).
 
-    The reference evaluator rebuilds full-row prefix sums for *every*
-    segment; here the cost array's write-invalidated prefix cache
-    (:meth:`CostArray.enable_prefix_cache`) shares row prefix tables
-    across all segments of the wire — and across consecutive
-    :func:`route_wire` calls, since rip-up and reroute commits dirty only
-    the channels they touch.  Output is bit-identical to
+    Delegates to :func:`repro.route.wavefront.route_wire_fused`: one
+    :meth:`CostArray.block_prefix_tables` call prices every candidate of
+    every segment of the wire in stacked array arithmetic, with no
+    per-wire cache invalidation tax (the earlier write-invalidated prefix
+    cache paid invalidation on every parallel-commit, which made it a net
+    loss on the T6 path).  Output is bit-identical to
     :func:`route_wire_reference`.
     """
-    if tie_break not in (0, 1):
-        raise RoutingError(f"tie_break must be 0 or 1, got {tie_break}")
-    cost.enable_prefix_cache()
-    seg_routes: List[SegmentRoute] = []
-    cell_parts: List[np.ndarray] = []
-    work = 0
-    for a, b in wire.segments():
-        if a.x > b.x:
-            raise RoutingError(f"segment pins out of order: {a} after {b}")
-        seg = _route_segment_cached(cost, a, b, tie_break)
-        seg_routes.append(seg)
-        cell_parts.append(segment_cells(a, b, seg.xv, cost.n_grids))
-        work += seg.work_cells
-    path = RoutePath.from_cells(np.concatenate(cell_parts), cost.n_grids)
-    return WireRoute(
-        path=path,
-        cost=cost.path_cost(path.flat_cells),
-        work_cells=work,
-        segments=tuple(seg_routes),
-    )
+    global _route_wire_fused
+    if _route_wire_fused is None:
+        from .wavefront import route_wire_fused as _fused
+
+        _route_wire_fused = _fused
+    return _route_wire_fused(cost, wire, tie_break=tie_break)
+
+
+#: Lazily resolved to break the twobend <-> wavefront import cycle.
+_route_wire_fused = None
 
 
 def route_wire(cost: CostArray, wire: Wire, tie_break: int = 0) -> WireRoute:

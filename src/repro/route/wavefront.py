@@ -1,0 +1,710 @@
+"""Wave-front batched routing: fused evaluation of independent wires.
+
+The sequential rip-up-and-reroute loop routes one wire at a time: rip up,
+price every candidate two-bend route, commit, move on.  Each step is a
+handful of small NumPy calls, so the Python dispatch overhead around the
+arithmetic dominates on real circuits.
+
+This module batches that loop without changing a single routed cell.  The
+observation: a wire's evaluation reads only its segments' bounding boxes,
+and both its old and its new path lie inside those same boxes (paths are
+built from the same pins, so every path cell is inside some segment box).
+Two wires whose box unions are disjoint therefore *commute* — routing one
+first cannot change what the other reads, rips up, or prices.  Each
+iteration greedily partitions the pending wires, in visit order, into
+**waves** of pairwise-disjoint footprints, then routes a whole wave as one
+fused step:
+
+1. rip up every wave member's old path in one grouped ``remove_path``;
+2. build one pair of block prefix tables over the wave's row band and
+   price *every candidate of every segment of every wire* in stacked
+   array arithmetic (:func:`_evaluate`);
+3. reconstruct each wire's path, price it, and commit the whole wave in
+   one grouped ``apply_path``.
+
+Order preservation: the greedy partition defers a wire whose footprint
+overlaps *any* earlier pending wire (whether that wire joined the wave or
+was itself deferred), so no wire is ever routed before an earlier wire it
+could interact with.  Within a wave, disjointness makes the batched
+rip-up / evaluate / price / commit schedule produce exactly the
+sequential result — :func:`repro.route.twobend.route_wire_reference`
+stays the differential oracle and ``locusroute verify`` replays both.
+
+Everything is integer arithmetic over the same ``int64`` sums in the same
+per-element association order as the reference evaluator, so the chosen
+columns, path cells, costs, and work accounting are bit-identical, not
+merely equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.model import Circuit, Wire
+from ..errors import RoutingError
+from ..grid.bbox import BBox
+from ..grid.cost_array import CostArray
+from .path import RoutePath
+from .twobend import SegmentRoute, WireRoute, _candidate_columns
+
+__all__ = [
+    "WireGeometry",
+    "wire_geometry",
+    "route_wire_fused",
+    "plan_wave",
+    "plan_waves",
+    "route_iteration_wavefront",
+]
+
+#: Sentinel total for padded candidate slots — never selected by argmin
+#: because every real candidate's cost is a small sum of occupancies.
+_INF = np.iinfo(np.int64).max
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class WireGeometry:
+    """Routing-invariant geometry of one wire, precomputed once.
+
+    Everything here depends only on the wire's pins and the grid width —
+    candidate columns, read boxes, work accounting — so it is computed
+    once per ``(wire, n_grids)`` and cached on the wire object.  The cost
+    array never enters; evaluation against a concrete array is
+    :func:`_evaluate`.
+    """
+
+    __slots__ = (
+        "seg_is_bend",
+        "segs",
+        "seg_work",
+        "read_boxes",
+        "n_bend",
+        "b_c1",
+        "b_x1",
+        "b_c2",
+        "b_x2",
+        "b_clo",
+        "b_chi",
+        "b_cand",
+        "b_valid",
+        "b_candidates",
+        "s_c",
+        "s_x1",
+        "s_x2",
+        "work_cells",
+        "bbox",
+        "needs_col",
+        "has_pad",
+        "e_invalid",
+        "e_rows",
+        "tbl_rows",
+        "tbl_width",
+        "rowp_size",
+        "buf_size",
+        "f_all",
+        "const_off",
+        "s_off",
+        "seg_tmpl",
+        "seg_proto",
+        "bbox_obj",
+    )
+
+    def __init__(self, wire: Wire, n_grids: int) -> None:
+        seg_is_bend: List[bool] = []
+        segs: List[Tuple[int, int, int, int]] = []
+        seg_work: List[int] = []
+        read_boxes: List[BBox] = []
+        bend_rows: List[Tuple[int, int, int, int, int, int]] = []
+        b_candidates: List[np.ndarray] = []
+        s_c: List[int] = []
+        s_x1: List[int] = []
+        s_x2: List[int] = []
+        work = 0
+
+        seg_tmpl: List[Tuple] = []
+        for a, b in wire.segments():
+            x1, c1 = a.x, a.channel
+            x2, c2 = b.x, b.channel
+            span = x2 - x1
+            xs = np.arange(x1, x2 + 1, dtype=np.int64)
+            if c1 == c2:
+                seg_is_bend.append(False)
+                s_c.append(c1)
+                s_x1.append(x1)
+                s_x2.append(x2)
+                w = span + 1
+                box = BBox(c1, x1, c1, x2)
+                # A straight run's cells never depend on the cost array.
+                seg_tmpl.append((c1 * n_grids + xs,))
+            else:
+                c_lo, c_hi = (c1, c2) if c1 <= c2 else (c2, c1)
+                cand = _candidate_columns(x1, x2)
+                n_interior = max(0, c_hi - c_lo - 1)
+                seg_is_bend.append(True)
+                bend_rows.append((c1, x1, c2, x2, c_lo, c_hi))
+                b_candidates.append(cand)
+                w = int(cand.size) * (span + 2 + n_interior)
+                box = BBox(c_lo, x1, c_hi, x2)
+                # Path builder slices these at the chosen bend column:
+                # low-channel run, interior column cells, high-channel run.
+                seg_tmpl.append(
+                    (
+                        c_lo * n_grids + xs,
+                        c_hi * n_grids + xs,
+                        np.arange(c_lo + 1, c_hi, dtype=np.int64) * n_grids,
+                        x1,
+                        c1 <= c2,
+                    )
+                )
+            segs.append((c1, x1, c2, x2))
+            seg_work.append(w)
+            read_boxes.append(box)
+            work += w
+        self.seg_tmpl = seg_tmpl
+        # SegmentRoute prototypes: everything but xv/cost is static, so
+        # route_wire_fused fills instances from these dicts instead of
+        # paying the dataclass constructor per segment per reroute.
+        self.seg_proto = [
+            {
+                "xv": 0,
+                "cost": 0,
+                "work_cells": seg_work[k],
+                "read_box": read_boxes[k],
+                "c1": segs[k][0],
+                "x1": segs[k][1],
+                "c2": segs[k][2],
+                "x2": segs[k][3],
+                "candidates": b_candidates[sum(seg_is_bend[:k])]
+                if seg_is_bend[k]
+                else _EMPTY,
+            }
+            for k in range(len(segs))
+        ]
+
+        self.seg_is_bend = seg_is_bend
+        self.segs = segs
+        self.seg_work = seg_work
+        self.read_boxes = read_boxes
+        self.b_candidates = b_candidates
+        self.work_cells = work
+
+        n_bend = len(bend_rows)
+        self.n_bend = n_bend
+        if n_bend:
+            arr = np.array(bend_rows, dtype=np.int64)
+            self.b_c1 = arr[:, 0]
+            self.b_x1 = arr[:, 1]
+            self.b_c2 = arr[:, 2]
+            self.b_x2 = arr[:, 3]
+            self.b_clo = arr[:, 4]
+            self.b_chi = arr[:, 5]
+            # Pad only to this wire's widest candidate row, not the global
+            # MAX_CANDIDATES — short segments price narrow rows.
+            width = max(cand.size for cand in b_candidates)
+            cand_tab = np.empty((n_bend, width), dtype=np.int64)
+            valid = np.zeros((n_bend, width), dtype=bool)
+            for i, cand in enumerate(b_candidates):
+                k = cand.size
+                cand_tab[i, :k] = cand
+                cand_tab[i, k:] = cand[0]  # padding never wins (cost forced to _INF)
+                valid[i, :k] = True
+            self.b_cand = cand_tab
+            self.b_valid = valid
+        else:
+            self.b_c1 = self.b_x1 = self.b_c2 = self.b_x2 = _EMPTY
+            self.b_clo = self.b_chi = _EMPTY
+            self.b_cand = np.empty((0, 1), dtype=np.int64)
+            self.b_valid = np.zeros((0, 1), dtype=bool)
+
+        if s_c:
+            self.s_c = np.array(s_c, dtype=np.int64)
+            self.s_x1 = np.array(s_x1, dtype=np.int64)
+            self.s_x2 = np.array(s_x2, dtype=np.int64)
+        else:
+            self.s_c = self.s_x1 = self.s_x2 = _EMPTY
+
+        box = read_boxes[0]
+        for other in read_boxes[1:]:
+            box = box.union(other)
+        self.bbox = box.as_tuple()
+        # Every segment's path spans its full x-range whatever bend column
+        # wins, so any realized path's bbox IS the geometry bbox; the path
+        # builder stamps this on trusted paths to skip the lazy recompute.
+        self.bbox_obj = box
+
+        # One-wire fast-path layout: the evaluator builds both prefix
+        # tables in a single flat buffer over exactly this wire's bbox,
+        # then prices everything with ONE precomputed (2, K) flat gather
+        # — row 0 holds every "+" prefix term, row 1 every "-" term, so
+        # ``diff = gather[0] - gather[1]`` yields, in order, the H1-H2
+        # candidate matrix, the interior (V) matrix, the per-bend
+        # constant (H2 left end minus H1 left end), and the straight-run
+        # costs.  Exact integer sums: regrouping the reference's
+        # (H1 + H2 + V) into (matrix + const) is bit-identical.
+        band_lo, x_lo = self.bbox[0], self.bbox[1]
+        self.needs_col = bool(n_bend) and bool(np.any(self.b_chi - self.b_clo > 1))
+        self.has_pad = bool(n_bend and not valid.all())
+        self.e_invalid = ~self.b_valid if self.has_pad else None
+        self.e_rows = np.arange(n_bend)
+        rows = self.bbox[2] - band_lo + 1
+        width = self.bbox[3] - x_lo + 1
+        stride = width + 1
+        self.tbl_rows = rows
+        self.tbl_width = width
+        self.rowp_size = rows * stride
+        self.buf_size = self.rowp_size + ((rows + 1) * width if self.needs_col else 0)
+
+        plus_parts: List[np.ndarray] = []
+        minus_parts: List[np.ndarray] = []
+        if n_bend:
+            r1 = self.b_c1 - band_lo
+            r2 = self.b_c2 - band_lo
+            cand_rel = self.b_cand - x_lo
+            plus_parts.append((r1[:, None] * stride + cand_rel + 1).ravel())
+            minus_parts.append((r2[:, None] * stride + cand_rel).ravel())
+            if self.needs_col:
+                chi = (self.b_chi - band_lo)[:, None]
+                clo = (self.b_clo + 1 - band_lo)[:, None]
+                plus_parts.append((self.rowp_size + chi * width + cand_rel).ravel())
+                minus_parts.append((self.rowp_size + clo * width + cand_rel).ravel())
+            plus_parts.append(r2 * stride + self.b_x2 + 1 - x_lo)
+            minus_parts.append(r1 * stride + self.b_x1 - x_lo)
+        if s_c:
+            sr = self.s_c - band_lo
+            plus_parts.append(sr * stride + self.s_x2 + 1 - x_lo)
+            minus_parts.append(sr * stride + self.s_x1 - x_lo)
+        nbW = n_bend * self.b_cand.shape[1] if n_bend else 0
+        self.const_off = (2 * nbW if self.needs_col else nbW)
+        self.s_off = self.const_off + n_bend
+        if plus_parts:
+            self.f_all = np.stack(
+                (np.concatenate(plus_parts), np.concatenate(minus_parts))
+            )
+        else:
+            self.f_all = np.empty((2, 0), dtype=np.int64)
+
+
+def wire_geometry(wire: Wire, n_grids: int) -> WireGeometry:
+    """The wire's :class:`WireGeometry`, cached on the wire object.
+
+    ``Wire`` is frozen but carries a ``__dict__``; the cache is attached
+    through ``object.__setattr__`` and keyed by grid width, so a wire
+    shared across engines with different grids stays correct.
+    """
+    cache = getattr(wire, "_wf_geom", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(wire, "_wf_geom", cache)
+    geom = cache.get(n_grids)
+    if geom is None:
+        geom = WireGeometry(wire, n_grids)
+        cache[n_grids] = geom
+    return geom
+
+
+def _evaluate_single(
+    cost: CostArray, g: WireGeometry, tie_break: int
+) -> List[Tuple[int, int]]:
+    """Price one wire's segments against *cost* with a single fused step.
+
+    Both prefix tables are built in one flat buffer over exactly the
+    wire's bounding box, and every prefix-sum term of every segment is
+    fetched by the geometry's single precomputed ``(2, K)`` flat gather;
+    ``diff = gathered[0] - gathered[1]`` then holds the H1-H2 candidate
+    matrix, the interior (V) matrix, the per-bend constants, and the
+    straight-run costs back to back.  Bit-identical to per-segment
+    :func:`repro.route.twobend.route_segment` — exact integer sums are
+    association-free, and ties are broken on identical totals.
+    """
+    c_lo, x_lo, c_hi, x_hi = g.bbox
+    block = cost.data[c_lo : c_hi + 1, x_lo : x_hi + 1]
+    buf = np.zeros(g.buf_size, dtype=np.int64)
+    rowp = buf[: g.rowp_size].reshape(g.tbl_rows, g.tbl_width + 1)
+    np.cumsum(block, axis=1, dtype=np.int64, out=rowp[:, 1:])
+    if g.needs_col:
+        colp = buf[g.rowp_size :].reshape(g.tbl_rows + 1, g.tbl_width)
+        np.cumsum(block, axis=0, dtype=np.int64, out=colp[1:, :])
+
+    gathered = buf[g.f_all]
+    diff = gathered[0] - gathered[1]
+
+    nb = g.n_bend
+    if nb:
+        W = g.b_cand.shape[1]
+        nbW = nb * W
+        totals = diff[:nbW].reshape(nb, W)
+        if g.needs_col:
+            # V: strictly interior channels c_lo+1..c_hi-1 at column xv
+            # (zero for adjacent-channel bends, same as the reference).
+            totals += diff[nbW : 2 * nbW].reshape(nb, W)
+        totals += diff[g.const_off : g.const_off + nb][:, None]
+        if g.has_pad:
+            totals[g.e_invalid] = _INF
+        if tie_break == 0:
+            best = np.argmin(totals, axis=1)  # first minimum: smallest xv
+        else:
+            # Last minimum: padded slots sit at _INF, so the reversed
+            # argmin lands on the last *real* minimum, exactly the
+            # reference's totals[::-1] scan.
+            best = W - 1 - np.argmin(totals[:, ::-1], axis=1)
+        b_xv = g.b_cand[g.e_rows, best]
+        b_cost = totals[g.e_rows, best]
+
+    s_cost = diff[g.s_off :]
+
+    out: List[Tuple[int, int]] = []
+    b_off = 0
+    s_off = 0
+    for is_bend in g.seg_is_bend:
+        if is_bend:
+            out.append((int(b_xv[b_off]), int(b_cost[b_off])))
+            b_off += 1
+        else:
+            out.append((int(g.s_x1[s_off]), int(s_cost[s_off])))
+            s_off += 1
+    return out
+
+
+def _evaluate(
+    cost: CostArray, geoms: Sequence[WireGeometry], tie_break: int
+) -> List[List[Tuple[int, int]]]:
+    """Price every segment of every geometry against *cost*, fused.
+
+    One :meth:`CostArray.block_prefix_tables` call over the union bbox
+    of all geometries serves every prefix difference; every bend
+    segment's full candidate row evaluates in one stacked expression.
+    Returns, per geometry, the chain-ordered list of ``(xv, cost)`` —
+    bit-identical to per-segment :func:`repro.route.twobend.route_segment`.
+    """
+    if len(geoms) == 1:
+        return [_evaluate_single(cost, geoms[0], tie_break)]
+
+    band_lo = min(g.bbox[0] for g in geoms)
+    band_hi = max(g.bbox[2] for g in geoms)
+    x_lo = min(g.bbox[1] for g in geoms)
+    x_hi = max(g.bbox[3] for g in geoms)
+    need_col = any(g.needs_col for g in geoms)
+    # Density dispatch.  Wave members are pairwise disjoint, so whenever
+    # the wave is spread out its union bbox is mostly gap — and the
+    # shared tables below pay a cumsum over every gap cell.  The shared
+    # sweep only beats per-wire evaluation when the wires tile most of
+    # the band; below that density, price each wire against its own
+    # bbox tables (still one fused gather per wire, and exactly the
+    # same arithmetic, so the choice never changes a routed cell).
+    union_cells = (2 if need_col else 1) * (band_hi - band_lo + 1) * (
+        x_hi - x_lo + 1
+    )
+    if union_cells > 2 * sum(g.buf_size for g in geoms):
+        return [_evaluate_single(cost, g, tie_break) for g in geoms]
+    rowp, colp = cost.block_prefix_tables(
+        band_lo, band_hi, x_lo, x_hi, need_col
+    )
+
+    n_bend = sum(g.n_bend for g in geoms)
+    if n_bend:
+        b_c1 = np.concatenate([g.b_c1 for g in geoms])
+        b_x1 = np.concatenate([g.b_x1 for g in geoms])
+        b_c2 = np.concatenate([g.b_c2 for g in geoms])
+        b_x2 = np.concatenate([g.b_x2 for g in geoms])
+        b_clo = np.concatenate([g.b_clo for g in geoms])
+        b_chi = np.concatenate([g.b_chi for g in geoms])
+        # Candidate rows are padded per wire to that wire's widest
+        # segment; re-pad to the wave's widest row (padding repeats the
+        # row's first candidate and is masked to _INF below).
+        width = max(g.b_cand.shape[1] for g in geoms if g.n_bend)
+        b_cand = np.empty((n_bend, width), dtype=np.int64)
+        b_valid = np.zeros((n_bend, width), dtype=bool)
+        row = 0
+        for g in geoms:
+            nb = g.n_bend
+            if not nb:
+                continue
+            w = g.b_cand.shape[1]
+            b_cand[row : row + nb, :w] = g.b_cand
+            if w < width:
+                b_cand[row : row + nb, w:] = g.b_cand[:, :1]
+            b_valid[row : row + nb, :w] = g.b_valid
+            row += nb
+
+        r1 = b_c1 - band_lo
+        r2 = b_c2 - band_lo
+        cand = b_cand - x_lo
+        # H1: channel c1, columns x1..xv inclusive, for every candidate xv.
+        h1 = rowp[r1[:, None], cand + 1] - rowp[r1, b_x1 - x_lo][:, None]
+        # H2: channel c2, columns xv..x2 inclusive.
+        h2 = rowp[r2, b_x2 + 1 - x_lo][:, None] - rowp[r2[:, None], cand]
+        totals = h1 + h2
+        if need_col:
+            # V: strictly interior channels c_lo+1..c_hi-1 at column xv.
+            # Skipped when every bend spans adjacent channels (the
+            # reference adds an exact zero there, so the sum is
+            # bit-identical either way).
+            totals += (
+                colp[(b_chi - band_lo)[:, None], cand]
+                - colp[(b_clo + 1 - band_lo)[:, None], cand]
+            )
+        totals[~b_valid] = _INF
+        if tie_break == 0:
+            best = np.argmin(totals, axis=1)  # first minimum: smallest xv
+        else:
+            # Last minimum: padded slots sit at _INF, so the reversed
+            # argmin lands on the last *real* minimum, exactly the
+            # reference's totals[::-1] scan.
+            best = totals.shape[1] - 1 - np.argmin(totals[:, ::-1], axis=1)
+        rows = np.arange(best.size)
+        b_xv = b_cand[rows, best]
+        b_cost = totals[rows, best]
+    else:
+        b_xv = b_cost = _EMPTY
+
+    s_c = np.concatenate([g.s_c for g in geoms])
+    s_x1 = np.concatenate([g.s_x1 for g in geoms])
+    s_x2 = np.concatenate([g.s_x2 for g in geoms])
+    if s_c.size:
+        sr = s_c - band_lo
+        s_cost = rowp[sr, s_x2 + 1 - x_lo] - rowp[sr, s_x1 - x_lo]
+    else:
+        s_cost = _EMPTY
+
+    results: List[List[Tuple[int, int]]] = []
+    b_off = 0
+    s_off = 0
+    for g in geoms:
+        out: List[Tuple[int, int]] = []
+        for is_bend in g.seg_is_bend:
+            if is_bend:
+                out.append((int(b_xv[b_off]), int(b_cost[b_off])))
+                b_off += 1
+            else:
+                out.append((int(s_x1[s_off]), int(s_cost[s_off])))
+                s_off += 1
+        results.append(out)
+    return results
+
+
+def _build_path(geom: WireGeometry, xvs: Sequence[int], n_grids: int) -> RoutePath:
+    """Assemble the wire's :class:`RoutePath` from chosen bend columns.
+
+    Segment cells come from slices of the geometry's precomputed run
+    templates, emitted in ascending flat order (low channel run, interior
+    column, high channel run), so the one-segment common case skips the
+    ``np.unique`` sort entirely and constructs the path without
+    re-validation; multi-segment wires union through ``np.unique``
+    exactly like the reference.
+    """
+    tmpl = geom.seg_tmpl
+    if len(tmpl) == 1:
+        t = tmpl[0]
+        if len(t) == 1:  # single straight run: the template is the path
+            path = RoutePath._trusted(t[0], n_grids)
+        else:
+            lo_full, hi_full, int_rows, x1, c1_low = t
+            xv = xvs[0]
+            j = xv - x1
+            if c1_low:
+                cells = np.concatenate(
+                    (lo_full[: j + 1], int_rows + xv, hi_full[j:])
+                )
+            else:
+                cells = np.concatenate(
+                    (lo_full[j:], int_rows + xv, hi_full[: j + 1])
+                )
+            path = RoutePath._trusted(cells, n_grids)
+        object.__setattr__(path, "_bbox", geom.bbox_obj)
+        return path
+
+    parts: List[np.ndarray] = []
+    for t, xv in zip(tmpl, xvs):
+        if len(t) == 1:
+            parts.append(t[0])
+            continue
+        lo_full, hi_full, int_rows, x1, c1_low = t
+        j = xv - x1
+        if c1_low:
+            parts.extend((lo_full[: j + 1], int_rows + xv, hi_full[j:]))
+        else:
+            parts.extend((lo_full[j:], int_rows + xv, hi_full[: j + 1]))
+    cells = np.sort(np.concatenate(parts))
+    # Sort + consecutive-duplicate mask == np.unique, minus its overhead.
+    keep = np.empty(cells.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(cells[1:], cells[:-1], out=keep[1:])
+    path = RoutePath._trusted(cells[keep], n_grids)
+    object.__setattr__(path, "_bbox", geom.bbox_obj)
+    return path
+
+
+def route_wire_fused(cost: CostArray, wire: Wire, tie_break: int = 0) -> WireRoute:
+    """Fused single-wire evaluation — a one-wire wave.
+
+    Bit-identical to :func:`repro.route.twobend.route_wire_reference`,
+    including the per-segment :class:`SegmentRoute` detail records.
+    """
+    if tie_break not in (0, 1):
+        raise RoutingError(f"tie_break must be 0 or 1, got {tie_break}")
+    geom = wire_geometry(wire, cost.n_grids)
+    res = _evaluate_single(cost, geom, tie_break)
+    path = _build_path(geom, [xv for xv, _ in res], cost.n_grids)
+    segments: List[SegmentRoute] = []
+    for proto, (xv, seg_cost) in zip(geom.seg_proto, res):
+        seg = object.__new__(SegmentRoute)
+        sd = seg.__dict__
+        sd.update(proto)
+        sd["xv"] = xv
+        sd["cost"] = seg_cost
+        segments.append(seg)
+    return WireRoute(
+        path=path,
+        cost=cost.path_cost(path.flat_cells),
+        work_cells=geom.work_cells,
+        segments=tuple(segments),
+    )
+
+
+def plan_wave(
+    pending: Sequence[int],
+    footprints: Dict[int, Tuple[int, int, int, int]],
+) -> Tuple[List[int], List[int]]:
+    """Greedy in-order split of *pending* into ``(wave, deferred)``.
+
+    A wire joins the wave only if its footprint is disjoint from *every*
+    earlier pending wire's footprint — wave members **and** deferred ones.
+    Blocking on deferred wires too is what preserves routing order: if a
+    deferred wire's later routing could interact with a subsequent wire,
+    that subsequent wire must wait for a later wave.
+    """
+    n = len(pending)
+    clo = np.empty(n, dtype=np.int64)
+    xlo = np.empty(n, dtype=np.int64)
+    chi = np.empty(n, dtype=np.int64)
+    xhi = np.empty(n, dtype=np.int64)
+    wave: List[int] = []
+    deferred: List[int] = []
+    k = 0
+    for idx in pending:
+        c_lo, x_lo, c_hi, x_hi = footprints[idx]
+        if k and bool(
+            np.any(
+                (clo[:k] <= c_hi)
+                & (chi[:k] >= c_lo)
+                & (xlo[:k] <= x_hi)
+                & (xhi[:k] >= x_lo)
+            )
+        ):
+            deferred.append(idx)
+        else:
+            wave.append(idx)
+        clo[k] = c_lo
+        xlo[k] = x_lo
+        chi[k] = c_hi
+        xhi[k] = x_hi
+        k += 1
+    return wave, deferred
+
+
+def plan_waves(
+    order: Sequence[int],
+    footprints: Dict[int, Tuple[int, int, int, int]],
+) -> List[List[int]]:
+    """The full wave decomposition of *order*, in one pass.
+
+    Equivalent to iterating :func:`plan_wave` to exhaustion (wave ``w``
+    is the ``w``-th round's wave, members in visit order), via the
+    layering recurrence: a wire with no earlier overlapping wire joins
+    wave 0, otherwise wave ``1 + max(wave of earlier overlapping
+    wires)`` — an earlier overlapping wire in wave ``w`` is still
+    pending in every round ``<= w``, blocking this wire exactly until
+    round ``w + 1``.  One vectorised overlap test per wire replaces the
+    per-round rescan of every deferred wire, and the result depends
+    only on (*order*, *footprints*), so callers can cache it across
+    iterations.
+    """
+    n = len(order)
+    if not n:
+        return []
+    clo = np.empty(n, dtype=np.int64)
+    xlo = np.empty(n, dtype=np.int64)
+    chi = np.empty(n, dtype=np.int64)
+    xhi = np.empty(n, dtype=np.int64)
+    for k, idx in enumerate(order):
+        clo[k], xlo[k], chi[k], xhi[k] = footprints[idx]
+    wave_no = np.zeros(n, dtype=np.int64)
+    for k in range(1, n):
+        overlap = (
+            (clo[:k] <= chi[k])
+            & (chi[:k] >= clo[k])
+            & (xlo[:k] <= xhi[k])
+            & (xhi[:k] >= xlo[k])
+        )
+        if overlap.any():
+            wave_no[k] = wave_no[:k][overlap].max() + 1
+    waves: List[List[int]] = [[] for _ in range(int(wave_no.max()) + 1)]
+    for idx, w in zip(order, wave_no):
+        waves[w].append(idx)
+    return waves
+
+
+def route_iteration_wavefront(
+    cost: CostArray,
+    circuit: Circuit,
+    order: Sequence[int],
+    paths: Dict[int, RoutePath],
+    tie_break: int,
+) -> Tuple[int, int]:
+    """One full rip-up-and-reroute iteration, routed in waves.
+
+    Mutates *cost* and *paths* exactly as the sequential per-wire loop
+    would and returns ``(occupancy, work_cells)`` for the iteration.
+    Footprints are the wires' static geometry boxes — both the old and
+    the new path of a wire always lie inside its own geometry box, so
+    the partition never needs to look at current paths.
+    """
+    n_grids = cost.n_grids
+    geoms: Dict[int, WireGeometry] = {}
+    footprints: Dict[int, Tuple[int, int, int, int]] = {}
+    for idx in order:
+        g = wire_geometry(circuit.wire(idx), n_grids)
+        geoms[idx] = g
+        footprints[idx] = g.bbox
+
+    # The decomposition depends only on the visit order and the static
+    # geometry boxes, so it is identical in every iteration — cache it
+    # on the circuit, keyed by the order.
+    cache: Dict[Tuple[int, ...], List[List[int]]] = getattr(
+        circuit, "_wf_waves", None
+    )
+    if cache is None:
+        cache = {}
+        object.__setattr__(circuit, "_wf_waves", cache)
+    key = tuple(order)
+    waves = cache.get(key)
+    if waves is None:
+        waves = plan_waves(order, footprints)
+        cache[key] = waves
+
+    occupancy = 0
+    work = 0
+    for wave in waves:
+        wave_geoms = [geoms[i] for i in wave]
+
+        old_parts = [paths[i].flat_cells for i in wave if i in paths]
+        if old_parts:
+            # Disjoint footprints: one grouped rip-up == per-wire rip-ups.
+            cost.remove_path(np.concatenate(old_parts))
+
+        per_wire = _evaluate(cost, wave_geoms, tie_break)
+
+        new_cells: List[np.ndarray] = []
+        for idx, geom, res in zip(wave, wave_geoms, per_wire):
+            path = _build_path(geom, [xv for xv, _ in res], n_grids)
+            # Price before the grouped commit: no other wave member's
+            # cells intersect this path, so this equals the sequential
+            # price taken right after this wire's own rip-up.
+            occupancy += cost.path_cost(path.flat_cells)
+            work += geom.work_cells
+            paths[idx] = path
+            new_cells.append(path.flat_cells)
+        cost.apply_path(np.concatenate(new_cells))
+    return occupancy, work

@@ -95,6 +95,84 @@ def _twobend_check(circuit: Circuit, iterations: int) -> Dict[str, object]:
     return {"identical": identical, "detail": detail}
 
 
+def _wavefront_check(circuit: Circuit, iterations: int) -> Dict[str, object]:
+    """Wave-front batched engine vs the scalar sequential loop.
+
+    Runs the full :class:`SequentialRouter` under both kernel modes —
+    the vectorised mode routes each iteration in disjoint-footprint
+    waves through one fused evaluation — and demands bit-identical
+    paths, work accounting, occupancy, and final cost array.
+    """
+    from ..route.engine import SequentialRouter
+
+    def run() -> Tuple:
+        result = SequentialRouter(circuit, iterations=max(iterations, 2)).run()
+        paths = tuple(
+            tuple(result.paths[i].flat_cells.tolist())
+            for i in sorted(result.paths)
+        )
+        return (
+            result.quality,
+            result.work_cells,
+            tuple(result.per_iteration_height),
+            result.cost.data.tobytes(),
+            paths,
+        )
+
+    with use_kernels("reference"):
+        ref = run()
+    with use_kernels("vectorized"):
+        vec = run()
+    identical = ref == vec
+    detail = (
+        f"{circuit.n_wires} wires x {max(iterations, 2)} batched iterations"
+        if identical
+        else "wave-front routing diverged from the sequential loop"
+    )
+    return {"identical": identical, "detail": detail}
+
+
+def _event_queue_check(circuit: Circuit) -> Dict[str, object]:
+    """Columnar event queue vs the reference heap on a live schedule.
+
+    Drives both queues through the same circuit-derived schedule —
+    nested reschedules, cancellations, simultaneous events — and
+    compares the fired sequence exactly.
+    """
+    from ..events.sim import Simulator
+
+    def run() -> Tuple:
+        sim = Simulator()
+        fired: List[Tuple[float, int]] = []
+        handles: List[object] = []
+
+        def fire(tag: int) -> None:
+            fired.append((sim.now, tag))
+            if tag < 1000 and tag % 4 == 0:
+                handles.append(sim.after(0.5, lambda t=tag: fire(t + 1000)))
+            if tag % 5 == 0 and handles:
+                sim.cancel(handles.pop(0))
+
+        for idx in range(circuit.n_wires):
+            wire = circuit.wire(idx)
+            t = float(wire.leftmost_pin.x + wire.length_cost() % 7)
+            sim.at(t, lambda tag=idx: fire(tag))
+        sim.run()
+        return tuple(fired)
+
+    with use_kernels("reference"):
+        ref = run()
+    with use_kernels("vectorized"):
+        vec = run()
+    identical = ref == vec
+    detail = (
+        f"{len(ref)} events fired in identical order"
+        if identical
+        else "event firing order diverged between queue kernels"
+    )
+    return {"identical": identical, "detail": detail}
+
+
 def _wormhole_check(n_procs: int) -> Dict[str, object]:
     """Scalar vs batched link reservation over a deterministic burst."""
     from ..events.sim import Simulator
@@ -139,5 +217,7 @@ def run_kernel_equivalence(
     return {
         "coherence": _coherence_check(circuit, n_procs),
         "twobend": _twobend_check(circuit, iterations),
+        "wavefront": _wavefront_check(circuit, iterations),
+        "event_queue": _event_queue_check(circuit),
         "wormhole": _wormhole_check(max(n_procs, 9)),
     }

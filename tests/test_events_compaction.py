@@ -64,6 +64,33 @@ class TestCompactionTrigger:
         q.cancel(event)
         assert q._n_cancelled_in_heap == 0
 
+    def test_peek_compacts_dead_prefix(self):
+        # Regression: peek_time used to drain cancelled heads one heappop
+        # at a time without ever consulting the compaction heuristic.  Set
+        # up a dead prefix too small for cancel() to compact (dead entries
+        # are not the majority) but well past COMPACT_MIN, then assert a
+        # single peek sheds all of them through _compact().
+        q = EventQueue()
+        doomed = [q.push(float(i), lambda: None) for i in range(100)]
+        survivors = [q.push(1000.0 + i, lambda: None) for i in range(300)]
+        for event in doomed:
+            q.cancel(event)
+        assert q.n_compactions == 0  # cancel: 100 dead of 400 is no majority
+        assert q.peek_time() == 1000.0
+        assert q.n_compactions == 1
+        assert q._n_cancelled_in_heap == 0
+        assert len(q._heap) == len(survivors)
+
+    def test_peek_drains_small_dead_prefix_without_compacting(self):
+        q = EventQueue()
+        doomed = [q.push(float(i), lambda: None) for i in range(EventQueue.COMPACT_MIN - 1)]
+        q.push(500.0, lambda: None)
+        for event in doomed:
+            q.cancel(event)
+        assert q.peek_time() == 500.0
+        assert q.n_compactions == 0
+        assert q._n_cancelled_in_heap == 0
+
     def test_compaction_preserves_pending_pop_order(self):
         q, lazy = EventQueue(), LazyOnlyQueue()
         handles_q, handles_l = [], []

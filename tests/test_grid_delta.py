@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.errors import GridError
 from repro.grid import BBox, DeltaArray
+from repro.grid.regions import RegionMap
 
 
 def flat(cells, n_grids=12):
@@ -96,6 +97,40 @@ class TestExtractAccumulate:
         delta = DeltaArray(6, 12)
         with pytest.raises(GridError):
             delta.accumulate(BBox(0, 0, 1, 1), np.ones((3, 3), dtype=np.int32))
+
+
+class TestBatchedOwnerScan:
+    """dirty_bboxes_by_owner == region_dirty_bbox per owned region."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 11)),
+            min_size=0,
+            max_size=40,
+            unique=True,
+        ),
+        st.sampled_from([1, 2, 4, 6]),
+    )
+    def test_matches_per_region_scan(self, cells, n_procs):
+        delta = DeltaArray(6, 12)
+        if cells:
+            delta.record_path(flat(cells), +1)
+        regions = RegionMap(6, 12, n_procs)
+        batched = delta.dirty_bboxes_by_owner(regions)
+        for proc in range(n_procs):
+            expected = delta.region_dirty_bbox(regions.region(proc))
+            assert batched.get(proc) == expected
+
+    def test_clean_array_yields_empty_dict(self):
+        delta = DeltaArray(6, 12)
+        assert delta.dirty_bboxes_by_owner(RegionMap(6, 12, 4)) == {}
+
+    def test_negative_deltas_count_as_dirty(self):
+        delta = DeltaArray(6, 12)
+        delta.record_path(flat([(1, 2)]), -1)
+        regions = RegionMap(6, 12, 4)
+        owner = regions.owner_of(1, 2)
+        assert delta.dirty_bboxes_by_owner(regions) == {owner: BBox(1, 2, 1, 2)}
 
 
 @given(

@@ -1,0 +1,338 @@
+"""Wave-front batched routing vs the sequential scalar loop.
+
+Contract: partitioning an iteration's wires into disjoint-footprint waves
+and routing each wave through one fused evaluation is *bit-identical* to
+the sequential per-wire loop — same chosen bend columns, same path cells,
+same costs and work accounting, same final cost array — for every
+circuit, wire order, and tie-break mode.  The overlap cases matter most:
+wires sharing a bounding box must serialize into size-1 waves and still
+reproduce the sequential result exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, Pin, Wire
+from repro.grid import CostArray
+from repro.kernels import use_kernels
+from repro.route import SequentialRouter
+from repro.route.twobend import route_wire_reference
+from repro.route.wavefront import (
+    plan_wave,
+    plan_waves,
+    route_iteration_wavefront,
+    route_wire_fused,
+    wire_geometry,
+)
+
+N_CHANNELS = 8
+N_GRIDS = 24
+
+
+def assert_same_route(ref, vec):
+    assert ref.cost == vec.cost
+    assert ref.work_cells == vec.work_cells
+    assert np.array_equal(ref.path.flat_cells, vec.path.flat_cells)
+    assert tuple(s.xv for s in ref.segments) == tuple(s.xv for s in vec.segments)
+    assert tuple(s.cost for s in ref.segments) == tuple(
+        s.cost for s in vec.segments
+    )
+
+
+pin_strategy = st.builds(
+    Pin,
+    x=st.integers(min_value=0, max_value=N_GRIDS - 1),
+    channel=st.integers(min_value=0, max_value=N_CHANNELS - 1),
+)
+
+
+def wires(min_pins=2, max_pins=5):
+    return st.builds(
+        lambda pins, i: Wire(f"w{i}", pins),
+        st.lists(pin_strategy, min_size=min_pins, max_size=max_pins, unique=True),
+        st.integers(min_value=0, max_value=999),
+    )
+
+
+def circuits(min_wires=1, max_wires=10):
+    return st.builds(
+        lambda wire_list: Circuit(
+            "hyp",
+            N_CHANNELS,
+            N_GRIDS,
+            [Wire(f"w{i}", w.pins) for i, w in enumerate(wire_list)],
+        ),
+        st.lists(wires(), min_size=min_wires, max_size=max_wires),
+    )
+
+
+cost_grid = st.lists(
+    st.integers(min_value=0, max_value=9),
+    min_size=N_CHANNELS * N_GRIDS,
+    max_size=N_CHANNELS * N_GRIDS,
+)
+
+
+class TestWavePartition:
+    def test_disjoint_wires_share_a_wave(self):
+        footprints = {0: (0, 0, 1, 5), 1: (3, 0, 4, 5), 2: (6, 10, 7, 20)}
+        wave, deferred = plan_wave([0, 1, 2], footprints)
+        assert wave == [0, 1, 2]
+        assert deferred == []
+
+    def test_overlapping_wires_serialize(self):
+        # All three share cell (0, 0): every wave has exactly one wire,
+        # in the original order.
+        footprints = {i: (0, 0, 2, 10) for i in range(3)}
+        pending = [0, 1, 2]
+        rounds = []
+        while pending:
+            wave, pending = plan_wave(pending, footprints)
+            rounds.append(wave)
+        assert rounds == [[0], [1], [2]]
+
+    def test_deferred_wire_blocks_later_overlaps(self):
+        # B overlaps A, C overlaps only B.  C must not jump the queue
+        # into A's wave: routing C before B would invert the order.
+        footprints = {
+            0: (0, 0, 1, 5),  # A
+            1: (1, 4, 3, 10),  # B: overlaps A
+            2: (3, 8, 5, 15),  # C: overlaps B, disjoint from A
+        }
+        wave, deferred = plan_wave([0, 1, 2], footprints)
+        assert wave == [0]
+        assert deferred == [1, 2]
+
+    def test_touching_edges_count_as_overlap(self):
+        # Inclusive boxes sharing a boundary row conflict.
+        footprints = {0: (0, 0, 2, 5), 1: (2, 5, 4, 9)}
+        wave, deferred = plan_wave([0, 1], footprints)
+        assert wave == [0]
+        assert deferred == [1]
+
+    @given(st.data())
+    @settings(deadline=None, max_examples=100)
+    def test_plan_waves_matches_iterated_plan_wave(self, data):
+        # The one-pass layering decomposition must reproduce the
+        # round-by-round greedy partition exactly, waves in order and
+        # members in visit order.
+        n = data.draw(st.integers(min_value=0, max_value=12))
+        footprints = {}
+        for i in range(n):
+            c_lo = data.draw(st.integers(0, 6))
+            x_lo = data.draw(st.integers(0, 20))
+            footprints[i] = (
+                c_lo,
+                x_lo,
+                data.draw(st.integers(c_lo, 7)),
+                data.draw(st.integers(x_lo, 24)),
+            )
+        order = data.draw(st.permutations(list(range(n))))
+        rounds = []
+        pending = list(order)
+        while pending:
+            wave, pending = plan_wave(pending, footprints)
+            rounds.append(wave)
+        assert plan_waves(order, footprints) == rounds
+
+
+class TestGeometry:
+    def test_geometry_cached_per_grid_width(self):
+        wire = Wire("w", [Pin(2, 1), Pin(20, 6)])
+        g1 = wire_geometry(wire, N_GRIDS)
+        g2 = wire_geometry(wire, N_GRIDS)
+        assert g1 is g2
+        g3 = wire_geometry(wire, N_GRIDS * 2)
+        assert g3 is not g1
+
+    def test_footprint_covers_old_and_new_paths(self):
+        # The partition invariant: any routed path of a wire lies inside
+        # its static geometry bbox.
+        wire = Wire("w", [Pin(2, 1), Pin(10, 4), Pin(20, 6)])
+        geom = wire_geometry(wire, N_GRIDS)
+        c_lo, x_lo, c_hi, x_hi = geom.bbox
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            data = rng.integers(0, 9, size=(N_CHANNELS, N_GRIDS))
+            cost = CostArray(N_CHANNELS, N_GRIDS, data=data)
+            for tie in (0, 1):
+                path = route_wire_fused(cost, wire, tie_break=tie).path
+                channels, xs = path.coords()
+                assert channels.min() >= c_lo and channels.max() <= c_hi
+                assert xs.min() >= x_lo and xs.max() <= x_hi
+
+
+class TestFusedSingleWire:
+    @settings(max_examples=150, deadline=None)
+    @given(cost_grid, wires(), st.integers(min_value=0, max_value=1))
+    def test_any_wire_any_costs(self, grid, wire, tie_break):
+        data = np.array(grid, dtype=np.int64).reshape(N_CHANNELS, N_GRIDS)
+        ref = route_wire_reference(
+            CostArray(N_CHANNELS, N_GRIDS, data=data.copy()), wire, tie_break
+        )
+        fused = route_wire_fused(
+            CostArray(N_CHANNELS, N_GRIDS, data=data.copy()), wire, tie_break
+        )
+        assert_same_route(ref, fused)
+
+    def test_sampled_candidates_on_wide_grid(self):
+        # Spans beyond MAX_CANDIDATES take the strided-sampling branch.
+        n_grids = 300
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 9, size=(N_CHANNELS, n_grids))
+        wire = Wire("w", [Pin(3, 0), Pin(295, 6)])
+        for tie in (0, 1):
+            ref = route_wire_reference(
+                CostArray(N_CHANNELS, n_grids, data=data.copy()), wire, tie
+            )
+            fused = route_wire_fused(
+                CostArray(N_CHANNELS, n_grids, data=data.copy()), wire, tie
+            )
+            assert_same_route(ref, fused)
+
+
+class TestIterationEquivalence:
+    """The tentpole property: batched iteration == scalar iteration."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(circuits(), st.integers(min_value=0, max_value=1))
+    def test_iteration_matches_scalar_loop(self, circuit, tie_break):
+        ref_cost = CostArray(N_CHANNELS, N_GRIDS)
+        vec_cost = CostArray(N_CHANNELS, N_GRIDS)
+        ref_paths, vec_paths = {}, {}
+        order = list(range(circuit.n_wires))
+        for iteration in range(2):
+            tie = (tie_break + iteration) % 2
+            ref_occ = 0
+            ref_work = 0
+            for i in order:
+                wire = circuit.wire(i)
+                if i in ref_paths:
+                    ref_cost.remove_path(ref_paths[i].flat_cells)
+                res = route_wire_reference(ref_cost, wire, tie_break=tie)
+                ref_occ += res.cost
+                ref_work += res.work_cells
+                ref_cost.apply_path(res.path.flat_cells)
+                ref_paths[i] = res.path
+            vec_occ, vec_work = route_iteration_wavefront(
+                vec_cost, circuit, order, vec_paths, tie_break=tie
+            )
+            assert vec_occ == ref_occ
+            assert vec_work == ref_work
+            assert ref_cost == vec_cost
+            for i in order:
+                assert np.array_equal(
+                    ref_paths[i].flat_cells, vec_paths[i].flat_cells
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(wires(), min_size=2, max_size=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_interleaved_mutations_and_routes(self, wire_list, rng):
+        # apply_path / remove_path / route_wire churn: external mutations
+        # between routes must flow into the fused evaluation identically.
+        ref_cost = CostArray(N_CHANNELS, N_GRIDS)
+        vec_cost = CostArray(N_CHANNELS, N_GRIDS)
+        ref_paths, vec_paths = {}, {}
+        extra = []
+        for iteration in range(3):
+            tie = iteration % 2
+            for i, wire in enumerate(wire_list):
+                if i in ref_paths:
+                    ref_cost.remove_path(ref_paths[i].flat_cells)
+                    vec_cost.remove_path(vec_paths[i].flat_cells)
+                ref = route_wire_reference(ref_cost, wire, tie_break=tie)
+                vec = route_wire_fused(vec_cost, wire, tie_break=tie)
+                assert_same_route(ref, vec)
+                ref_cost.apply_path(ref.path.flat_cells)
+                vec_cost.apply_path(vec.path.flat_cells)
+                ref_paths[i], vec_paths[i] = ref.path, vec.path
+                choice = rng.random()
+                if choice < 0.3:
+                    # A foreign wire-path lands on both arrays.
+                    cells = np.unique(
+                        np.array(
+                            [
+                                rng.randrange(N_CHANNELS * N_GRIDS)
+                                for _ in range(rng.randrange(1, 6))
+                            ],
+                            dtype=np.int64,
+                        )
+                    )
+                    ref_cost.apply_path(cells)
+                    vec_cost.apply_path(cells)
+                    extra.append(cells)
+                elif choice < 0.45 and extra:
+                    cells = extra.pop(rng.randrange(len(extra)))
+                    ref_cost.remove_path(cells)
+                    vec_cost.remove_path(cells)
+        assert ref_cost == vec_cost
+
+    def test_forced_size_one_waves(self):
+        # Every wire crosses column 12, so every footprint overlaps every
+        # other and each wave carries exactly one wire.
+        overlapping = [
+            Wire(f"w{i}", [Pin(4, i % N_CHANNELS), Pin(20, (i + 3) % N_CHANNELS)])
+            for i in range(6)
+        ]
+        circuit = Circuit("serial", N_CHANNELS, N_GRIDS, overlapping)
+        footprints = {
+            i: wire_geometry(circuit.wire(i), N_GRIDS).bbox
+            for i in range(circuit.n_wires)
+        }
+        wave, _ = plan_wave(list(range(circuit.n_wires)), footprints)
+        assert len(wave) == 1
+        with use_kernels("reference"):
+            ref = SequentialRouter(circuit, iterations=3).run()
+        with use_kernels("vectorized"):
+            vec = SequentialRouter(circuit, iterations=3).run()
+        assert ref.cost == vec.cost
+        assert ref.work_cells == vec.work_cells
+
+
+class TestEngineDispatch:
+    @settings(max_examples=40, deadline=None)
+    @given(circuits(min_wires=1, max_wires=8))
+    def test_sequential_router_bit_identical_across_modes(self, circuit):
+        with use_kernels("reference"):
+            ref = SequentialRouter(circuit, iterations=3).run()
+        with use_kernels("vectorized"):
+            vec = SequentialRouter(circuit, iterations=3).run()
+        assert ref.quality == vec.quality
+        assert ref.work_cells == vec.work_cells
+        assert ref.per_iteration_height == vec.per_iteration_height
+        assert ref.cost == vec.cost
+        assert set(ref.paths) == set(vec.paths)
+        for i, path in ref.paths.items():
+            assert np.array_equal(path.flat_cells, vec.paths[i].flat_cells)
+
+    def test_custom_wire_order_respected(self):
+        wire_list = [
+            Wire("a", [Pin(0, 0), Pin(10, 3)]),
+            Wire("b", [Pin(5, 2), Pin(15, 5)]),
+            Wire("c", [Pin(12, 4), Pin(23, 7)]),
+        ]
+        circuit = Circuit("ordered", N_CHANNELS, N_GRIDS, wire_list)
+        order = [2, 0, 1]
+        with use_kernels("reference"):
+            ref = SequentialRouter(circuit, iterations=2).run(wire_order=order)
+        with use_kernels("vectorized"):
+            vec = SequentialRouter(circuit, iterations=2).run(wire_order=order)
+        assert ref.cost == vec.cost
+        for i in ref.paths:
+            assert np.array_equal(
+                ref.paths[i].flat_cells, vec.paths[i].flat_cells
+            )
+
+    def test_tie_break_validation(self):
+        from repro.errors import RoutingError
+
+        cost = CostArray(N_CHANNELS, N_GRIDS)
+        with pytest.raises(RoutingError):
+            route_wire_fused(cost, Wire("w", [Pin(0, 0), Pin(5, 3)]), tie_break=2)
