@@ -29,15 +29,24 @@ class DistributedLoop:
             raise AssignmentError("wire_order contains duplicates")
         self._order = list(wire_order)
         self._next = 0
+        #: wires returned to the loop (a crashed processor's in-flight
+        #: work); handed out again before the regular order advances.
+        #: Kept separate from ``_order`` so :meth:`reset` rearms the
+        #: original iteration order exactly.
+        self._requeued: list = []
         self.grabs = 0  #: total next_wire calls that returned a wire
+        self.requeues = 0  #: total wires pushed back into the loop
 
     @property
     def remaining(self) -> int:
         """Wires not yet handed out this iteration."""
-        return len(self._order) - self._next
+        return len(self._order) - self._next + len(self._requeued)
 
     def next_wire(self) -> Optional[int]:
         """Hand out the next wire index, or ``None`` when exhausted."""
+        if self._requeued:
+            self.grabs += 1
+            return self._requeued.pop(0)
         if self._next >= len(self._order):
             return None
         wire = self._order[self._next]
@@ -45,6 +54,17 @@ class DistributedLoop:
         self.grabs += 1
         return wire
 
+    def push_back(self, wire: int) -> None:
+        """Return a handed-out wire to the loop (self-scheduling recovery).
+
+        Used when the processor that grabbed *wire* fail-stopped before
+        committing it: the wire re-enters the distributed loop and the
+        next idle survivor picks it up.
+        """
+        self._requeued.append(wire)
+        self.requeues += 1
+
     def reset(self) -> None:
         """Rearm the loop for a new iteration (same wire order)."""
         self._next = 0
+        self._requeued.clear()

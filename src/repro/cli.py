@@ -165,6 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="reorder each packet with probability P",
     )
     p_mp.add_argument(
+        "--fault-crash",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail-stop crash N processors mid-run (deterministic per "
+        "--fault-seed; survivors detect the deaths and adopt the work)",
+    )
+    p_mp.add_argument(
+        "--crash-at",
+        type=float,
+        default=0.01,
+        metavar="T",
+        help="base virtual time (seconds) of the --fault-crash crashes; "
+        "actual times spread deterministically over [T, 1.5*T]",
+    )
+    p_mp.add_argument(
         "--fault-seed",
         type=int,
         default=0,
@@ -338,16 +354,23 @@ def _build_fault_plan(args: argparse.Namespace):
         args.fault_delay,
         args.fault_reorder,
     )
-    if all(p == 0 for p in probs):
+    n_crashes = getattr(args, "fault_crash", 0)
+    if all(p == 0 for p in probs) and n_crashes == 0:
         return None  # negative values fall through to FaultPlan validation
-    from .faults import FaultPlan
+    from .faults import FaultPlan, random_crashes
 
+    crashes = ()
+    if n_crashes != 0:  # negative counts fall through to validation too
+        crashes = random_crashes(
+            args.procs, n_crashes, args.crash_at, args.fault_seed
+        )
     return FaultPlan(
         seed=args.fault_seed,
         drop_prob=args.fault_drop,
         duplicate_prob=args.fault_duplicate,
         delay_prob=args.fault_delay,
         reorder_prob=args.fault_reorder,
+        node_crashes=crashes,
     )
 
 
@@ -405,6 +428,21 @@ def _cmd_mp(args: argparse.Namespace) -> int:
             f"{recovery['requests_abandoned']} abandoned, "
             f"{recovery['duplicate_responses_ignored']} duplicate responses ignored"
         )
+        crash = fmeta.get("crash")
+        if crash is not None:
+            lats = [lat for _dead, lat in crash["recovery_latency_s"]]
+            worst = f"{max(lats):.3f}s" if lats else "n/a"
+            print(
+                f"  crashes: {len(crash['planned'])} planned, "
+                f"{len(crash['confirmed'])} confirmed dead "
+                f"(procs {crash['confirmed']}), worst detection {worst}"
+            )
+            print(
+                f"  re-ownership: {crash['regions_reassigned']} regions "
+                f"reassigned, {crash['wires_adopted']} wires adopted, "
+                f"{recovery['probes_sent']} probes, "
+                f"{recovery['death_notices_received']} death notices"
+            )
     return _verification_exit(result, args)
 
 

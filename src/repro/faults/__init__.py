@@ -18,7 +18,15 @@ onto the paper's staleness argument.
 """
 
 from .injector import FaultDecision, FaultInjector
-from .plan import FaultPlan, FaultStats, LinkWindow, NodeStall, RecoveryPolicy
+from .plan import (
+    FaultPlan,
+    FaultStats,
+    LinkWindow,
+    NodeCrash,
+    NodeStall,
+    RecoveryPolicy,
+    random_crashes,
+)
 
 __all__ = [
     "FaultDecision",
@@ -26,6 +34,8 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "LinkWindow",
+    "NodeCrash",
     "NodeStall",
     "RecoveryPolicy",
+    "random_crashes",
 ]

@@ -9,11 +9,13 @@ flit train's start and arrival times.
 Determinism contract
 --------------------
 Decisions come from one PCG64 stream seeded by ``plan.seed``.  Exactly
-four uniforms are drawn per send attempt (drop, duplicate, delay,
-reorder), in that order, plus one magnitude draw per triggered
+four uniforms are drawn per data-packet send attempt (drop, duplicate,
+delay, reorder), in that order, plus one magnitude draw per triggered
 delay/reorder — so the stream position is a pure function of the packet
 sequence, and identical ``(plan, workload)`` pairs replay identical
-fault sequences.  Duplicated copies are transmitted verbatim and do not
+fault sequences.  Liveness control packets (heartbeats, acks, death
+notices) are exempt — they model a reliable acked control channel — and
+draw nothing, leaving the data-packet stream undisturbed.  Duplicated copies are transmitted verbatim and do not
 re-enter the decision path (no fault cascades, no unbounded
 re-duplication).
 """
@@ -25,6 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..updates.types import is_control
 from .plan import FaultPlan, FaultStats
 
 __all__ = ["FaultDecision", "FaultInjector"]
@@ -64,6 +67,8 @@ class FaultInjector:
         self._stalls_by_proc: dict = {}
         for stall in plan.node_stalls:
             self._stalls_by_proc.setdefault(stall.proc, []).append(stall)
+        self._crash_at: dict = {c.proc: c.at_s for c in plan.node_crashes}
+        self.stats.nodes_crashed = len(self._crash_at)
 
     # ------------------------------------------------------------------
     # per-packet Bernoulli faults
@@ -76,7 +81,14 @@ class FaultInjector:
             return _NO_FAULT
         kind = getattr(message.payload, "kind", None)
         kind_name = getattr(kind, "name", None) if kind is not None else None
-        # Always four draws, in a fixed order, per attempt.
+        if kind is not None and is_control(kind):
+            # Liveness traffic (heartbeats, acks, death notices) rides a
+            # reliable acked control channel: exempt from the Bernoulli
+            # packet faults, or a dropped death notice would leave the
+            # survivors' ownership maps diverged forever.  Control packets
+            # draw nothing, so the data-packet fault stream is unchanged.
+            return _NO_FAULT
+        # Always four draws, in a fixed order, per data-packet attempt.
         u_drop, u_dup, u_delay, u_reorder = self._rng.random(4)
 
         if u_drop < plan.kind_drop_prob(kind_name):
@@ -144,6 +156,26 @@ class FaultInjector:
             return 0.0
         self.stats.slowdown_hits += 1
         return (worst - 1.0) * transfer_s
+
+    # ------------------------------------------------------------------
+    # fail-stop crashes (deterministic, no RNG)
+    # ------------------------------------------------------------------
+    def crash_time(self, proc: int) -> Optional[float]:
+        """The planned crash time of *proc*, or ``None`` if it never dies."""
+        return self._crash_at.get(proc)
+
+    def is_crashed(self, proc: int, t: float) -> bool:
+        """True once *proc*'s planned crash time has passed at time *t*."""
+        at = self._crash_at.get(proc)
+        return at is not None and t >= at
+
+    def count_crash_send_drop(self) -> None:
+        """A dead node tried to send: the packet never reaches the network."""
+        self.stats.crash_dropped_sends += 1
+
+    def count_crash_delivery_drop(self) -> None:
+        """An in-flight message arrived at a dead node and was discarded."""
+        self.stats.crash_dropped_deliveries += 1
 
     def stall_release(self, proc: int, arrive: float) -> float:
         """Delivery time once *proc*'s stall windows are accounted for."""

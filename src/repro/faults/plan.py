@@ -17,9 +17,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from ..errors import FaultPlanError
 
-__all__ = ["FaultPlan", "FaultStats", "LinkWindow", "NodeStall", "RecoveryPolicy"]
+__all__ = [
+    "FaultPlan",
+    "FaultStats",
+    "LinkWindow",
+    "NodeCrash",
+    "NodeStall",
+    "RecoveryPolicy",
+    "random_crashes",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +83,63 @@ class NodeStall:
 
 
 @dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop crash of one processor at a fixed virtual time.
+
+    From ``at_s`` onwards the processor sends nothing (packets it would
+    emit are discarded at the network interface and counted), answers
+    nothing, and every in-flight message addressed to it is dropped on
+    arrival.  There is no recovery of the crashed node itself; survivors
+    detect the death (see :class:`RecoveryPolicy` suspicion) and adopt
+    its cost-array regions and unfinished wires.
+    """
+
+    proc: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.proc < 0:
+            raise FaultPlanError(f"proc must be >= 0, got {self.proc}")
+        if self.at_s < 0:
+            raise FaultPlanError(f"crash time must be >= 0, got {self.at_s}")
+
+
+def random_crashes(
+    n_procs: int,
+    n_crashes: int,
+    at_s: float,
+    seed: int,
+    spread: float = 0.5,
+) -> Tuple[NodeCrash, ...]:
+    """Seed-deterministic crash set: *n_crashes* distinct procs, times in
+    ``[at_s, at_s * (1 + spread)]``.
+
+    The draw uses its own PCG64 stream (derived from *seed*), so it never
+    perturbs the injector's per-packet stream; the same arguments always
+    yield the same crashes.  At least one processor must survive.
+    """
+    if n_crashes < 0:
+        raise FaultPlanError(f"n_crashes must be >= 0, got {n_crashes}")
+    if n_crashes == 0:
+        return ()
+    if n_crashes >= n_procs:
+        raise FaultPlanError(
+            f"cannot crash {n_crashes} of {n_procs} processors: "
+            "at least one must survive"
+        )
+    if at_s <= 0:
+        raise FaultPlanError(f"base crash time must be positive, got {at_s}")
+    if spread < 0:
+        raise FaultPlanError(f"spread must be >= 0, got {spread}")
+    rng = np.random.default_rng([seed, 0xC4A5])
+    procs = sorted(int(p) for p in rng.choice(n_procs, size=n_crashes, replace=False))
+    times = at_s * (1.0 + spread * rng.random(n_crashes))
+    return tuple(
+        NodeCrash(proc=p, at_s=float(t)) for p, t in zip(procs, times)
+    )
+
+
+@dataclass(frozen=True)
 class RecoveryPolicy:
     """Watchdog semantics for overdue ReqRmtData responses.
 
@@ -93,11 +160,32 @@ class RecoveryPolicy:
     distinguish slow from lost), but the retry is idempotent and the
     request is never abandoned unless the network is actually eating
     responses.
+
+    Failure detection (crash plans only): after ``suspect_after``
+    abandonments attributed to the same peer, the node *suspects* it and
+    sends a heartbeat probe.  Probes use the same retry machinery with a
+    ``probe_timeout_factor`` times longer base timeout (a live peer
+    answers between wires, so the probe budget must cover several
+    wire-routing times — a short budget would declare slow peers dead).
+    A peer that exhausts the probe retries is declared dead and the
+    declaration is gossiped to every survivor.
+
+    ``jitter`` desynchronises the exponential backoff: each retry's
+    timeout is stretched by a factor uniform in ``[1, 1 + jitter]``,
+    drawn from a per-node generator seeded by ``(fault seed, proc)`` —
+    never the global RNG — so lossy runs stay bit-reproducible across
+    ``--jobs`` settings.
     """
 
     watchdog_timeout_s: float = 1e-2
     backoff_factor: float = 2.0
     max_retries: int = 3
+    #: Backoff jitter fraction; timeouts stretch by U[1, 1 + jitter].
+    jitter: float = 0.1
+    #: Abandonments charged to one peer before it is suspected/probed.
+    suspect_after: int = 1
+    #: Heartbeat probes wait this multiple of ``watchdog_timeout_s``.
+    probe_timeout_factor: float = 4.0
 
     def __post_init__(self) -> None:
         if self.watchdog_timeout_s <= 0:
@@ -110,6 +198,16 @@ class RecoveryPolicy:
             )
         if self.max_retries < 0:
             raise FaultPlanError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.jitter < 0:
+            raise FaultPlanError(f"jitter must be >= 0, got {self.jitter}")
+        if self.suspect_after < 1:
+            raise FaultPlanError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.probe_timeout_factor < 1.0:
+            raise FaultPlanError(
+                f"probe_timeout_factor must be >= 1, got {self.probe_timeout_factor}"
+            )
 
 
 def _check_prob(name: str, value: float) -> None:
@@ -147,6 +245,9 @@ class FaultPlan:
     duplicate_prob_by_kind: Tuple[Tuple[str, float], ...] = ()
     link_windows: Tuple[LinkWindow, ...] = ()
     node_stalls: Tuple[NodeStall, ...] = ()
+    #: Fail-stop processor crashes (see :class:`NodeCrash`); survivors
+    #: detect them and adopt the dead nodes' regions and wires.
+    node_crashes: Tuple[NodeCrash, ...] = ()
     #: ``None`` disables the watchdog entirely (faults with no recovery).
     recovery: Optional[RecoveryPolicy] = RecoveryPolicy()
 
@@ -162,6 +263,9 @@ class FaultPlan:
             raise FaultPlanError(
                 f"reorder_window_s must be positive, got {self.reorder_window_s}"
             )
+        procs = [crash.proc for crash in self.node_crashes]
+        if len(set(procs)) != len(procs):
+            raise FaultPlanError(f"duplicate crash procs in {procs}")
 
     # ------------------------------------------------------------------
     def kind_drop_prob(self, kind_name: Optional[str]) -> float:
@@ -210,6 +314,11 @@ class FaultPlan:
             parts.append(f"link_windows={len(self.link_windows)}")
         if self.node_stalls:
             parts.append(f"node_stalls={len(self.node_stalls)}")
+        if self.node_crashes:
+            parts.append(
+                "crashes="
+                + ",".join(f"p{c.proc}@{c.at_s:g}s" for c in self.node_crashes)
+            )
         if self.recovery is None:
             parts.append("no-recovery")
         return " ".join(parts)
@@ -239,6 +348,15 @@ class FaultStats:
     slowdown_hits: int = 0
     deliveries_stalled: int = 0
     dropped_by_kind: Dict[str, int] = field(default_factory=dict)
+    # Fail-stop crash effects, counted *separately* from the packet-fault
+    # books: a crashed node's suppressed sends never reach the network
+    # (so they are not ``send_attempts``), and in-flight deliveries to a
+    # dead node are discarded after the network accounted them — the
+    # ``attempts - dropped + duplicated == injected`` reconciliation must
+    # keep holding unchanged under crashes.
+    nodes_crashed: int = 0
+    crash_dropped_sends: int = 0
+    crash_dropped_deliveries: int = 0
 
     @property
     def lossy(self) -> bool:
@@ -265,5 +383,8 @@ class FaultStats:
             "slowdown_hits": self.slowdown_hits,
             "deliveries_stalled": self.deliveries_stalled,
             "dropped_by_kind": dict(self.dropped_by_kind),
+            "nodes_crashed": self.nodes_crashed,
+            "crash_dropped_sends": self.crash_dropped_sends,
+            "crash_dropped_deliveries": self.crash_dropped_deliveries,
             "lossy": self.lossy,
         }

@@ -8,6 +8,15 @@ array (§4.1), and the Figure-2 division of the array into owned regions.
 from .bbox import BBox
 from .cost_array import CostArray
 from .delta import DeltaArray
+from .ownership import HashRing, OwnershipMap
 from .regions import RegionMap, proc_grid_shape
 
-__all__ = ["BBox", "CostArray", "DeltaArray", "RegionMap", "proc_grid_shape"]
+__all__ = [
+    "BBox",
+    "CostArray",
+    "DeltaArray",
+    "HashRing",
+    "OwnershipMap",
+    "RegionMap",
+    "proc_grid_shape",
+]

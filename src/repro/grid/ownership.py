@@ -1,0 +1,180 @@
+"""Consistent-hash region re-ownership for crash recovery.
+
+The Figure-2 region division assigns region *i* to processor *i* for the
+whole run.  Under a fail-stop crash plan that mapping must change at run
+time: a confirmed-dead processor's regions need a new owner that every
+survivor agrees on *without* coordination.  :class:`OwnershipMap` layers a
+consistent-hash ring (:class:`HashRing`) over :class:`RegionMap`:
+
+- while a region's original owner lives, ownership is unchanged (the
+  simulation is bit-identical to a crash-free run until the first death);
+- when a processor is confirmed dead, each of its regions is re-assigned
+  to the ring successor of ``hash(region)`` among the survivors.
+
+Both properties every survivor needs hold by construction:
+
+- **determinism** — hashes come from a seeded splitmix64-style integer
+  mix (never Python's per-process-salted ``hash()``), so every node
+  computes the same assignment;
+- **order independence** — removing a ring member never changes the
+  owner of a key it did not own, so nodes that learn of multiple deaths
+  in different orders still converge on the same ownership vector.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from ..errors import GridError
+from .regions import RegionMap
+
+__all__ = ["HashRing", "OwnershipMap", "mix64"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """Deterministic 64-bit integer mix (splitmix64 finaliser).
+
+    Python's builtin ``hash()`` is salted per process, which would make
+    ring positions differ between runs; this mix is a pure function of
+    its argument everywhere.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class HashRing:
+    """A consistent-hash ring over integer member ids.
+
+    Each member gets ``replicas`` points on the ring (hashes of
+    ``(seed, member, replica)``); a key is owned by the member whose
+    point is the clockwise successor of ``hash(key)``.  Removing a
+    member deletes only that member's points, so every key it did not
+    own keeps its owner — the property that makes re-ownership converge
+    regardless of the order deaths are processed in.
+    """
+
+    def __init__(self, members, seed: int = 0, replicas: int = 8) -> None:
+        if replicas < 1:
+            raise GridError(f"need at least one replica point, got {replicas}")
+        self.seed = seed
+        self.replicas = replicas
+        self._points: List[Tuple[int, int]] = []
+        for member in sorted(set(int(m) for m in members)):
+            for rep in range(replicas):
+                point = mix64(mix64(mix64(seed) ^ member) ^ (rep + 1))
+                self._points.append((point, member))
+        self._points.sort()
+        if not self._points:
+            raise GridError("hash ring needs at least one member")
+
+    def members(self) -> List[int]:
+        """Current members, sorted."""
+        return sorted(set(m for _, m in self._points))
+
+    def remove(self, member: int) -> None:
+        """Remove *member*'s points; raises if it would empty the ring."""
+        member = int(member)
+        remaining = [p for p in self._points if p[1] != member]
+        if not remaining:
+            raise GridError("cannot remove the last hash ring member")
+        self._points = remaining
+
+    def owner(self, key: int) -> int:
+        """The member owning *key* (clockwise successor on the ring)."""
+        point = mix64(mix64(self.seed ^ 0x5EED) ^ int(key))
+        idx = bisect.bisect_right(self._points, (point, _MASK64))
+        if idx == len(self._points):
+            idx = 0
+        return self._points[idx][1]
+
+
+class OwnershipMap:
+    """Live region ownership layered over a static :class:`RegionMap`.
+
+    Initially region *i* belongs to processor *i* (the Figure-2 mapping);
+    :meth:`mark_dead` retires a processor and deterministically
+    re-assigns each of its regions to a survivor via the hash ring.
+    Every node holds its own replica of this map; because all operations
+    are pure functions of ``(regions, seed, set-of-dead)``, replicas
+    that have processed the same deaths are identical.
+    """
+
+    def __init__(self, regions: RegionMap, seed: int = 0) -> None:
+        self.regions = regions
+        self.seed = seed
+        self.n_procs = regions.n_procs
+        self._owner: List[int] = list(range(self.n_procs))
+        self._dead: set = set()
+        self._ring = HashRing(range(self.n_procs), seed=seed)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def is_live(self, proc: int) -> bool:
+        """True while *proc* has not been marked dead."""
+        return proc not in self._dead
+
+    def live_members(self) -> List[int]:
+        """Sorted live processor ids."""
+        return [p for p in range(self.n_procs) if p not in self._dead]
+
+    @property
+    def dead(self) -> frozenset:
+        """Processors marked dead so far."""
+        return frozenset(self._dead)
+
+    def mark_dead(self, proc: int) -> Dict[int, int]:
+        """Retire *proc*; returns ``{region_idx: new_owner}`` for its regions.
+
+        Idempotent: marking an already-dead processor returns ``{}``.
+        Raises :class:`GridError` if the death would leave no survivor.
+        """
+        self.regions._check_proc(proc)
+        if proc in self._dead:
+            return {}
+        if len(self._dead) + 1 >= self.n_procs:
+            raise GridError("cannot mark the last live processor dead")
+        self._dead.add(proc)
+        self._ring.remove(proc)
+        reassigned: Dict[int, int] = {}
+        for region_idx in range(self.n_procs):
+            if self._owner[region_idx] == proc:
+                new_owner = self._ring.owner(region_idx)
+                self._owner[region_idx] = new_owner
+                reassigned[region_idx] = new_owner
+        return reassigned
+
+    # ------------------------------------------------------------------
+    # ownership lookups
+    # ------------------------------------------------------------------
+    def live_owner(self, region_idx: int) -> int:
+        """The live processor currently owning region *region_idx*."""
+        self.regions._check_proc(region_idx)
+        return self._owner[region_idx]
+
+    def regions_owned_by(self, proc: int) -> List[int]:
+        """Region indices currently owned by *proc* (sorted)."""
+        return [r for r in range(self.n_procs) if self._owner[r] == proc]
+
+    def owner_vector(self) -> Tuple[int, ...]:
+        """The full region -> owner mapping (for agreement checks)."""
+        return tuple(self._owner)
+
+    def wire_owner(self, wire_idx: int) -> int:
+        """Deterministic live adopter for orphaned wire *wire_idx*.
+
+        Uses a different key salt than region ownership so wire adoption
+        spreads over survivors independently of region adoption.
+        """
+        return self._ring.owner(mix64(int(wire_idx) ^ 0x77157715) & _MASK64)
+
+    def __repr__(self) -> str:
+        return (
+            f"OwnershipMap({self.n_procs} procs, dead={sorted(self._dead)}, "
+            f"owners={self._owner})"
+        )

@@ -34,6 +34,7 @@ from ..events.sim import Simulator
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..grid.cost_array import CostArray
+from ..grid.ownership import OwnershipMap
 from ..grid.regions import RegionMap, proc_grid_shape
 from ..netsim.message import Delivery, Message
 from ..netsim.topology import MeshTopology
@@ -115,6 +116,16 @@ def run_message_passing(
         make exact reconstruction impossible by construction; all other
         invariants (cost conservation, flit conservation on transmitted
         traffic) still hold and are still enforced.
+
+        A plan with ``node_crashes`` fail-stops whole processors mid-run
+        (requires a ``recovery`` policy): survivors detect each death via
+        watchdog suspicion, heartbeat probes, and gossiped death notices,
+        re-own the orphaned regions over a consistent-hash ring
+        (:class:`~repro.grid.OwnershipMap`), adopt the dead nodes'
+        unfinished wires, and the run completes with every wire routed.
+        Crash details land in ``meta["faults"]["crash"]`` and, under
+        ``check_invariants``, the post-recovery ownership maps are
+        verified for totality and agreement.
     """
     wall0, cpu0 = time.perf_counter(), time.process_time()
     shape = proc_grid_shape(n_procs)
@@ -123,6 +134,19 @@ def run_message_passing(
         assignment = default_assignment(circuit, regions)
     if assignment.n_procs != n_procs or assignment.n_wires != circuit.n_wires:
         raise SimulationError("assignment does not match circuit / processor count")
+
+    crash_plan = tuple(faults.node_crashes) if faults is not None else ()
+    if crash_plan:
+        if faults.recovery is None:
+            raise SimulationError(
+                "node crashes need a RecoveryPolicy (failure detection rides "
+                "on the staleness watchdog)"
+            )
+        bad = [c.proc for c in crash_plan if not (0 <= c.proc < n_procs)]
+        if bad:
+            raise SimulationError(f"crash plan names unknown processors {bad}")
+        if len(crash_plan) >= n_procs:
+            raise SimulationError("at least one processor must survive the crash plan")
 
     sim = Simulator()
     nodes: List[MPNode] = []
@@ -144,6 +168,14 @@ def run_message_passing(
     def on_deliver(delivery: Delivery) -> None:
         if net_monitor is not None:
             net_monitor.on_delivery(delivery)
+        if injector is not None and injector.is_crashed(
+            delivery.message.dst, delivery.arrive_time
+        ):
+            # Fail-stop: messages in flight to a dead node are discarded
+            # (counted separately from lossy-fault drops so the injected
+            # == attempts - dropped + duplicated reconciliation holds).
+            injector.count_crash_delivery_drop()
+            return
         packet: UpdatePacket = delivery.message.payload
         nodes[delivery.message.dst].deliver(packet, delivery.arrive_time)
 
@@ -169,6 +201,12 @@ def run_message_passing(
         sim.add_probe(net_monitor.probe, PROBE_INTERVAL)
 
     def send_packet(packet: UpdatePacket, inject_time: float) -> None:
+        if injector is not None and injector.is_crashed(packet.src, inject_time):
+            # The node's virtual clock can run ahead of simulated time, so
+            # a wire's update pushes may carry inject times past the crash
+            # instant: fail-stop means those sends never happen.
+            injector.count_crash_send_drop()
+            return
         message = Message(
             src=packet.src,
             dst=packet.dst,
@@ -177,8 +215,13 @@ def run_message_passing(
         )
         sim.at(inject_time, lambda m=message, t=inject_time: network.send(m, t))
 
+    #: wires ripped up but not yet recommitted — mid-flight at a crash,
+    #: these must be adopted even though final_paths still lists them.
+    ripped_pending: set = set()
+
     def on_ripup(proc: int, wire_idx: int, path: RoutePath, time: float) -> None:
         truth.remove_path(path.flat_cells, strict=True)
+        ripped_pending.add(wire_idx)
         if monitor is not None:
             monitor.on_ripup(wire_idx, path, time)
 
@@ -192,6 +235,7 @@ def run_message_passing(
         wire_prices[wire_idx] = truth.path_cost(path.flat_cells)
         truth.apply_path(path.flat_cells)
         final_paths[wire_idx] = path
+        ripped_pending.discard(wire_idx)
         if monitor is not None:
             monitor.on_commit(wire_idx, path, time)
         if track_divergence:
@@ -216,6 +260,94 @@ def run_message_passing(
     def on_finished(proc: int, time: float) -> None:
         pass  # finish times are read off the nodes afterwards
 
+    # ------------------------------------------------------------------
+    # crash recovery: membership, orphaned-wire adoption, audit sweep
+    # ------------------------------------------------------------------
+    #: the simulator's own view of confirmed deaths (== any declarer's)
+    membership = OwnershipMap(regions, seed=faults.seed) if crash_plan else None
+    confirmed_dead: set = set()
+    recovery_latency: List[List[float]] = []
+    #: wire -> node currently responsible for (re)routing it
+    responsible = list(assignment.owner) if crash_plan else None
+
+    def on_node_dead(reporter: int, dead: int, t: float) -> None:
+        """A declarer confirmed *dead*; re-assign its orphaned wires.
+
+        Idempotent across multiple declarers.  Orphans are the wires the
+        dead node was responsible for that are not durably routed: never
+        committed, or ripped up mid-flight (``ripped_pending``).  Each is
+        deterministically assigned via the hash ring; a chosen adopter
+        that is itself crashed-but-unconfirmed simply keeps the wires on
+        its ledger until its own death re-orphans them.
+        """
+        if dead in confirmed_dead:
+            return
+        confirmed_dead.add(dead)
+        membership.mark_dead(dead)
+        crash_at = injector.crash_time(dead)
+        if crash_at is not None:
+            recovery_latency.append([dead, t - crash_at])
+        orphans = [
+            w
+            for w in range(circuit.n_wires)
+            if responsible[w] == dead
+            and (w not in final_paths or w in ripped_pending)
+        ]
+        by_adopter: Dict[int, List[int]] = {}
+        for w in orphans:
+            adopter = membership.wire_owner(w)
+            responsible[w] = adopter
+            by_adopter.setdefault(adopter, []).append(w)
+        for adopter in sorted(by_adopter):
+            nodes[adopter].adopt_wires(by_adopter[adopter], t)
+
+    # Audit sweep: the harness's stand-in for an external failure
+    # detector.  Suspicion normally arises from abandoned requests, but a
+    # node that crashes while every survivor is idle (or that nobody was
+    # talking to) would otherwise go undetected and its orphans would
+    # never be adopted.  Started at the first crash, the sweep has the
+    # lowest live processor probe every unconfirmed planned crash, and
+    # reschedules only while crashes remain unconfirmed and wires remain
+    # unrouted — so the event queue always drains.
+    audit_active = [False]
+    audit_interval = (
+        faults.recovery.watchdog_timeout_s * 4.0 if crash_plan else 0.0
+    )
+
+    def audit(t: float) -> None:
+        unconfirmed = [
+            c.proc
+            for c in crash_plan
+            if c.proc not in confirmed_dead and c.at_s <= t
+        ]
+        # Durably routed means committed *and* not ripped up mid-flight:
+        # a crashed node may have removed a wire from the truth array
+        # right before dying, leaving a stale final_paths entry that only
+        # adoption can repair — keep auditing until it has been.
+        complete = len(final_paths) >= circuit.n_wires and not ripped_pending
+        if not unconfirmed or complete:
+            audit_active[0] = False
+            return
+        live = [
+            n.proc for n in nodes if not n.crashed and membership.is_live(n.proc)
+        ]
+        if live:
+            reporter = min(live)
+            for dead in unconfirmed:
+                nodes[reporter].probe_peer(dead, t)
+        nxt = t + audit_interval
+        sim.at(nxt, lambda tt=nxt: audit(tt))
+
+    def do_crash(c) -> None:
+        nodes[c.proc].crash(c.at_s)
+        if not audit_active[0]:
+            audit_active[0] = True
+            nxt = c.at_s + audit_interval
+            sim.at(nxt, lambda tt=nxt: audit(tt))
+
+    for c in crash_plan:
+        sim.at(c.at_s, lambda cc=c: do_crash(cc))
+
     services = NodeServices(
         send_packet=send_packet,
         schedule=lambda t, action: sim.at(t, action),
@@ -223,6 +355,7 @@ def run_message_passing(
         on_commit=on_commit,
         on_finished=on_finished,
         cancel=sim.cancel,
+        on_node_dead=on_node_dead if crash_plan else (lambda r, d, t: None),
     )
 
     per_proc = assignment.per_proc_lists()
@@ -237,6 +370,8 @@ def run_message_passing(
             cost_model=cost_model,
             services=services,
             recovery=faults.recovery if faults is not None else None,
+            ownership=OwnershipMap(regions, seed=faults.seed) if crash_plan else None,
+            fault_seed=faults.seed if faults is not None else 0,
         )
         nodes.append(node)
     for node in nodes:
@@ -244,7 +379,7 @@ def run_message_passing(
 
     sim.run()
 
-    unfinished = [n.proc for n in nodes if not n.is_done]
+    unfinished = [n.proc for n in nodes if not n.is_done and not n.crashed]
     if unfinished:
         raise SimulationError(
             f"simulation drained with unfinished nodes {unfinished} "
@@ -252,6 +387,11 @@ def run_message_passing(
         )
     if len(final_paths) != circuit.n_wires:
         raise SimulationError("not every wire was routed")
+    if ripped_pending:
+        raise SimulationError(
+            f"wires {sorted(ripped_pending)} were ripped up but never "
+            "rerouted (their rip-up survived a crash; adoption failed)"
+        )
 
     exec_time = max(
         (n.finish_time_s for n in nodes if not math.isnan(n.finish_time_s)),
@@ -262,14 +402,22 @@ def run_message_passing(
 
         monitor.at_end(final_paths, exec_time)
         net_monitor.at_end(sim.now)
-        if injector is not None and injector.stats.lossy:
-            # Dropped / duplicated packets lose or double-count deltas, so
-            # exact replica reconstruction is impossible by construction.
-            # Waive the check *visibly* — the report records the waiver —
-            # rather than letting it fail or silently skipping it.
+        if injector is not None and (injector.stats.lossy or crash_plan):
+            # Dropped / duplicated packets lose or double-count deltas —
+            # and a crashed node takes its unsent deltas down with it —
+            # so exact replica reconstruction is impossible by
+            # construction.  Waive the check *visibly* — the report
+            # records the waiver — rather than letting it fail or
+            # silently skipping it.
             report.count("replica-convergence-waived", len(nodes))
         else:
             check_replica_convergence(report, nodes, truth, sim.now)
+        if crash_plan:
+            from ..verify.invariants import check_ownership_totality
+
+            check_ownership_totality(
+                report, nodes, regions, confirmed_dead, sim.now
+            )
     quality = QualityReport(
         circuit_height=circuit_height(truth),
         occupancy_factor=int(sum(wire_prices.values())),
@@ -317,6 +465,12 @@ def run_message_passing(
             "duplicate_responses_ignored": sum(
                 n.duplicate_responses_ignored for n in nodes
             ),
+            "probes_sent": sum(n.probes_sent for n in nodes),
+            "deaths_confirmed": sum(n.deaths_confirmed for n in nodes),
+            "death_notices_received": sum(
+                n.death_notices_received for n in nodes
+            ),
+            "misdirected_requests": sum(n.misdirected_requests for n in nodes),
         }
         meta["faults"] = {
             "plan": faults.describe(),
@@ -324,6 +478,16 @@ def run_message_passing(
             "injected": injector.stats.as_dict(),
             "recovery": recovery_counters,
         }
+        if crash_plan:
+            meta["faults"]["crash"] = {
+                "planned": [[int(c.proc), float(c.at_s)] for c in crash_plan],
+                "confirmed": sorted(int(p) for p in confirmed_dead),
+                "recovery_latency_s": [
+                    [int(d), float(lat)] for d, lat in recovery_latency
+                ],
+                "regions_reassigned": sum(n.regions_adopted for n in nodes),
+                "wires_adopted": sum(n.wires_adopted for n in nodes),
+            }
     if report is not None:
         from ..verify.violations import RunVerification
 

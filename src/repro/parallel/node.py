@@ -36,12 +36,15 @@ import itertools
 import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..circuits.model import Circuit
 from ..errors import ProtocolError
 from ..faults.plan import RecoveryPolicy
 from ..grid.bbox import BBox
 from ..grid.cost_array import CostArray
 from ..grid.delta import DeltaArray
+from ..grid.ownership import OwnershipMap
 from ..grid.regions import RegionMap
 from ..kernels import active_kernels
 from ..route.path import RoutePath
@@ -55,6 +58,7 @@ from ..route.workmodel import (
 from ..updates.packets import (
     HEADER_BYTES,
     UpdatePacket,
+    build_control,
     build_loc_data,
     build_request,
     build_response,
@@ -98,6 +102,11 @@ class NodeServices:
         (the simulator prices the path for the occupancy factor here).
     on_finished:
         ``on_finished(proc, time)`` — the node routed its last wire.
+    on_node_dead:
+        ``on_node_dead(reporter, dead, time)`` — *reporter* confirmed
+        *dead* as crashed (probe retries exhausted).  The simulator uses
+        this to re-assign the dead node's orphaned wires; defaults to a
+        no-op so crash-unaware runs need no wiring.
     """
 
     def __init__(
@@ -108,6 +117,7 @@ class NodeServices:
         on_commit: Callable[[int, int, RoutePath, float], None],
         on_finished: Callable[[int, float], None],
         cancel: Callable[[object], None] = lambda handle: None,
+        on_node_dead: Callable[[int, int, float], None] = lambda reporter, dead, time: None,
     ) -> None:
         self.send_packet = send_packet
         self.schedule = schedule
@@ -115,6 +125,7 @@ class NodeServices:
         self.on_commit = on_commit
         self.on_finished = on_finished
         self.cancel = cancel
+        self.on_node_dead = on_node_dead
 
 
 class MPNode:
@@ -131,6 +142,8 @@ class MPNode:
         cost_model: CostModel,
         services: NodeServices,
         recovery: Optional[RecoveryPolicy] = None,
+        ownership: Optional[OwnershipMap] = None,
+        fault_seed: int = 0,
     ) -> None:
         self.proc = proc
         self.circuit = circuit
@@ -188,6 +201,30 @@ class MPNode:
         self.requests_abandoned = 0
         self.duplicate_responses_ignored = 0
 
+        # crash-fault bookkeeping: ``ownership`` is this node's private
+        # replica of the live region -> owner map (see grid/ownership.py);
+        # it is only supplied when the fault plan contains node crashes,
+        # so crash-free runs take the legacy code paths bit-for-bit.  The
+        # seeded per-node RNG supplies backoff jitter from the fault-plan
+        # seed stream, keeping lossy runs reproducible across --jobs.
+        self.ownership = ownership
+        self.crashed = False
+        self.crash_time_s = math.nan
+        self._abandons_by_peer: Dict[int, int] = {}
+        #: probe req_id -> [peer, retries_so_far, current_timeout_s]
+        self._pending_probes: Dict[int, List[object]] = {}
+        self.probes_sent = 0
+        self.deaths_confirmed = 0
+        self.death_notices_received = 0
+        self.regions_adopted = 0
+        self.wires_adopted = 0
+        self.misdirected_requests = 0
+        self._rng = (
+            np.random.default_rng((fault_seed, proc))
+            if recovery is not None and recovery.jitter > 0.0
+            else None
+        )
+
         # sender-initiated counters
         self._since_send_loc = 0
         self._since_send_rmt = 0
@@ -221,6 +258,8 @@ class MPNode:
         waiting for the next between-wires poll; the interrupted wire's
         completion is pushed back by the service time.
         """
+        if self.crashed:
+            return
         self.messages_received += 1
         if (
             self.schedule.interrupt_reception
@@ -257,6 +296,43 @@ class MPNode:
         """True once every assigned wire (every iteration) is routed."""
         return self.qi >= len(self.queue)
 
+    def crash(self, t: float) -> None:
+        """Fail-stop at time *t*: no more routing, sends, or replies.
+
+        The node's committed paths stay in the ground truth (a crashed
+        processor's completed work survives); everything in flight —
+        the wire being routed, queued inbox packets, pending requests
+        and probes — is discarded.  Survivors detect the death via the
+        probe protocol and adopt the orphaned regions and wires.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_time_s = t
+        if self._commit_event is not None:
+            self.services.cancel(self._commit_event)
+            self._commit_event = None
+        self._pending_wire = None
+        self._inbox.clear()
+        self._pending_requests.clear()
+        self._pending_probes.clear()
+
+    # ------------------------------------------------------------------
+    # live ownership indirection (identity when crash-unaware)
+    # ------------------------------------------------------------------
+    def _live_owner(self, region_idx: int) -> int:
+        if self.ownership is None:
+            return region_idx
+        return self.ownership.live_owner(region_idx)
+
+    def _owns_region(self, region_idx: int) -> bool:
+        return self._live_owner(region_idx) == self.proc
+
+    def _owned_region_indices(self) -> List[int]:
+        if self.ownership is None:
+            return [self.proc]
+        return self.ownership.regions_owned_by(self.proc)
+
     # ------------------------------------------------------------------
     # activation: drain, look ahead, maybe block, start routing a wire
     # ------------------------------------------------------------------
@@ -266,6 +342,8 @@ class MPNode:
 
     def _activate(self, event_time: float) -> None:
         self._activation_pending = False
+        if self.crashed:
+            return
         # An activation scheduled by a delivery may be later than the local
         # clock; the gap is idle time the node simply waits through.
         self.clock = max(self.clock, event_time)
@@ -345,6 +423,8 @@ class MPNode:
                 entry[1] += n_segments
 
     def _finish_wire(self) -> None:
+        if self.crashed:
+            return
         assert self._pending_wire is not None
         wire_idx, result = self._pending_wire
         self._pending_wire = None
@@ -383,7 +463,7 @@ class MPNode:
             c_lo, x_lo, c_hi, x_hi = wire.bounding_box
             wire_box = BBox(c_lo, x_lo, c_hi, x_hi)
             for owner in self.regions.regions_touched(wire_box):
-                if owner == self.proc:
+                if self._owns_region(owner):
                     continue
                 clipped = wire_box.intersect(self.regions.region(owner))
                 if clipped is None:
@@ -402,12 +482,21 @@ class MPNode:
             self._lookahead_pos += 1
 
     def _send_req_rmt(self, owner: int) -> None:
+        """Request absolute data for region *owner* from its live owner.
+
+        ``owner`` is a *region index* (the region's original processor);
+        the packet's destination is resolved through the ownership map so
+        requests for an adopted region reach the adopter.  The pending
+        entry stores the region index, and every watchdog retry
+        re-resolves the destination — a request in flight across a death
+        is retried against the region's new owner.
+        """
         bbox = self._region_req_bbox.pop(owner)
         self._region_touch_count[owner] = 0
         rid = next(self._req_seq)
         packet = build_request(
-            UpdateKind.REQ_RMT_DATA, self.proc, owner, bbox, region_owner=owner,
-            req_id=rid,
+            UpdateKind.REQ_RMT_DATA, self.proc, self._live_owner(owner), bbox,
+            region_owner=owner, req_id=rid,
         )
         self.outstanding_responses += 1
         self._emit(packet, payload_cells=0)
@@ -432,19 +521,34 @@ class MPNode:
         releases the outstanding-response slot, which is what un-wedges
         blocking-mode nodes on a lossy network.
         """
+        if self.crashed:
+            return
         entry = self._pending_requests.get(rid)
         if entry is None:
             return  # response arrived (or request already abandoned)
         assert self.recovery is not None
         self.watchdog_fires += 1
-        owner, bbox, retries, timeout = entry
+        region_idx, bbox, retries, timeout = entry
+        dst = self._live_owner(region_idx)
+        if dst == self.proc:
+            # We adopted the region while the request was pending; our
+            # own view is now authoritative, so the slot is satisfied.
+            del self._pending_requests[rid]
+            self.outstanding_responses -= 1
+            if (
+                self.phase == NodePhase.WAITING
+                and self.outstanding_responses <= 0
+                and not self._activation_pending
+            ):
+                self._schedule_activation(max(self.clock, fire_time))
+            return
         if retries < self.recovery.max_retries:
             entry[2] = retries + 1
-            new_timeout = timeout * self.recovery.backoff_factor
+            new_timeout = self._next_timeout(timeout)
             entry[3] = new_timeout
             packet = build_request(
-                UpdateKind.REQ_RMT_DATA, self.proc, owner, bbox,
-                region_owner=owner, req_id=rid,
+                UpdateKind.REQ_RMT_DATA, self.proc, dst, bbox,
+                region_owner=region_idx, req_id=rid,
             )
             self.retries_sent += 1
             self.messages_sent += 1
@@ -458,12 +562,173 @@ class MPNode:
         del self._pending_requests[rid]
         self.requests_abandoned += 1
         self.outstanding_responses -= 1
+        self._note_abandonment(dst, fire_time)
         if (
             self.phase == NodePhase.WAITING
             and self.outstanding_responses <= 0
             and not self._activation_pending
         ):
             self._schedule_activation(max(self.clock, fire_time))
+
+    def _next_timeout(self, timeout: float) -> float:
+        """Exponential backoff with seeded jitter.
+
+        The jitter draw comes from the node's fault-seed RNG stream, not
+        the global RNG, so lossy runs stay bit-reproducible regardless of
+        worker-pool parallelism.
+        """
+        grown = timeout * self.recovery.backoff_factor
+        if self._rng is not None:
+            grown *= 1.0 + self.recovery.jitter * float(self._rng.random())
+        return grown
+
+    # ------------------------------------------------------------------
+    # failure detection: suspicion -> probe -> death declaration
+    # ------------------------------------------------------------------
+    def _note_abandonment(self, peer: int, t: float) -> None:
+        """Escalate repeated abandonments against *peer* to suspicion."""
+        if self.ownership is None or self.recovery is None:
+            return
+        if peer == self.proc or not self.ownership.is_live(peer):
+            return
+        count = self._abandons_by_peer.get(peer, 0) + 1
+        self._abandons_by_peer[peer] = count
+        if count >= self.recovery.suspect_after:
+            self._send_probe(peer, t)
+
+    def probe_peer(self, peer: int, t: float) -> None:
+        """Externally triggered liveness probe (simulator audit sweep)."""
+        self._send_probe(peer, t)
+
+    def _send_probe(self, peer: int, t: float) -> None:
+        """Send a HEARTBEAT to a suspected peer and arm its timeout.
+
+        Probing is a network-interface action: it advances no local
+        clock (the node may be mid-wire).  The probe budget is longer
+        than the data watchdog (``probe_timeout_factor x``) so a busy —
+        not dead — peer has time to reach its next between-wires poll
+        and answer before being declared dead.
+        """
+        if self.crashed or self.recovery is None or peer == self.proc:
+            return
+        if self.ownership is not None and not self.ownership.is_live(peer):
+            return
+        if any(entry[0] == peer for entry in self._pending_probes.values()):
+            return  # probe already in flight
+        rid = next(self._req_seq)
+        timeout = self.recovery.watchdog_timeout_s * self.recovery.probe_timeout_factor
+        self._pending_probes[rid] = [peer, 0, timeout]
+        packet = build_control(UpdateKind.HEARTBEAT, self.proc, peer, self.proc, req_id=rid)
+        self.probes_sent += 1
+        self.messages_sent += 1
+        self.services.send_packet(packet, t)
+        deadline = t + timeout
+        self.services.schedule(
+            deadline, lambda r=rid, ft=deadline: self._probe_fire(r, ft)
+        )
+
+    def _probe_fire(self, rid: int, fire_time: float) -> None:
+        """Probe timeout: retry the HEARTBEAT, or declare the peer dead."""
+        if self.crashed:
+            return
+        entry = self._pending_probes.get(rid)
+        if entry is None:
+            return  # ack arrived
+        peer, retries, timeout = entry
+        if self.ownership is not None and not self.ownership.is_live(peer):
+            del self._pending_probes[rid]
+            return  # someone else's death notice beat us to it
+        if retries < self.recovery.max_retries:
+            entry[1] = retries + 1
+            new_timeout = self._next_timeout(timeout)
+            entry[2] = new_timeout
+            packet = build_control(
+                UpdateKind.HEARTBEAT, self.proc, peer, self.proc, req_id=rid
+            )
+            self.probes_sent += 1
+            self.messages_sent += 1
+            self.services.send_packet(packet, fire_time)
+            deadline = fire_time + new_timeout
+            self.services.schedule(
+                deadline, lambda r=rid, ft=deadline: self._probe_fire(r, ft)
+            )
+            return
+        del self._pending_probes[rid]
+        self._declare_dead(peer, fire_time)
+
+    def _declare_dead(self, peer: int, t: float) -> None:
+        """Probe retries exhausted: gossip the death and process it locally.
+
+        The notice also goes to *peer* itself: if the declaration is a
+        false positive (a live peer swamped past every probe retry), the
+        victim learns it has been voted out, stops claiming its regions,
+        and keeps routing — every node still converges on the same
+        ownership map.
+        """
+        if self.ownership is None or not self.ownership.is_live(peer):
+            return
+        self.deaths_confirmed += 1
+        for member in self.ownership.live_members():
+            if member == self.proc:
+                continue
+            notice = build_control(UpdateKind.DEATH_NOTICE, self.proc, member, peer)
+            self.messages_sent += 1
+            self.services.send_packet(notice, t)
+        self._handle_death(peer, t)
+        self.services.on_node_dead(self.proc, peer, t)
+
+    def _handle_death(self, dead: int, t: float) -> None:
+        """Apply a confirmed death to the local ownership replica.
+
+        Idempotent (notices may arrive from several declarers).  Regions
+        the hash ring re-assigns to *this* node are adopted immediately.
+        """
+        if self.ownership is None or not self.ownership.is_live(dead):
+            return
+        reassigned = self.ownership.mark_dead(dead)
+        for rid in [r for r, e in self._pending_probes.items() if e[0] == dead]:
+            del self._pending_probes[rid]
+        self._abandons_by_peer.pop(dead, None)
+        for region_idx in sorted(reassigned):
+            if reassigned[region_idx] == self.proc:
+                self._adopt_region(region_idx, t)
+
+    def _adopt_region(self, region_idx: int, t: float) -> None:
+        """Become the owner of an orphaned region.
+
+        The adopter's view already tracks the region (every node holds a
+        whole-array replica, §4.1); what it may lack is *other* nodes'
+        unsent deltas there.  The re-announce round pulls them: one
+        ReqLocData per survivor covering the adopted region, each with a
+        fresh req_id so the responses are individually deduplicated.
+        """
+        self.regions_adopted += 1
+        region = self.regions.region(region_idx)
+        for member in self.ownership.live_members():
+            if member == self.proc:
+                continue
+            req = build_request(
+                UpdateKind.REQ_LOC_DATA,
+                self.proc,
+                member,
+                region,
+                region_owner=self.proc,
+                req_id=next(self._req_seq),
+            )
+            self.messages_sent += 1
+            self.services.send_packet(req, t)
+
+    def adopt_wires(self, wires: Sequence[int], t: float) -> None:
+        """Append a dead peer's orphaned wires to this node's queue."""
+        if self.crashed or not wires:
+            return
+        was_done = self.is_done
+        self.queue.extend(int(w) for w in wires)
+        self.wires_adopted += len(wires)
+        if was_done:
+            self.finish_time_s = math.nan
+            if not self._activation_pending:
+                self._schedule_activation(max(self.clock, t))
 
     # ------------------------------------------------------------------
     # sender-initiated machinery
@@ -496,32 +761,51 @@ class MPNode:
         return HEADER_BYTES + wire_based_bytes(counts[0], counts[1])
 
     def _send_loc_data(self) -> None:
-        """Push this owner's region (absolute) to its mesh neighbours."""
-        self.work.add_scan(self.own_region.area)
-        self.clock += self.cost_model.work_time(SCAN_CELL_UNITS * self.own_region.area)
-        template = build_loc_data(
-            self.proc, self.proc, self.view, self.delta, self.own_region
-        )
-        if template is None:
-            return
-        bbox, values = template.bbox, template.values
-        if self.schedule.packet_structure is PacketStructure.FULL_REGION:
-            bbox = self.own_region
-            values = self.view.extract(self.own_region)
-        override = self._encoding_override(UpdateKind.SEND_LOC_DATA, self.proc)
-        for neighbor in self.neighbors:
-            packet = UpdatePacket(
-                kind=template.kind,
-                src=self.proc,
-                dst=neighbor,
-                bbox=bbox,
-                values=values,
-                region_owner=self.proc,
-                wire_bytes=override,
+        """Push every owned region (absolute) to its mesh neighbours.
+
+        Crash-unaware nodes own exactly their Figure-2 region and this
+        reduces to the original single-region push.  A crash-aware node
+        pushes each region it currently owns (original plus adopted); the
+        N/S/E/W neighbour set is the *region's* mesh neighbourhood, with
+        each neighbour region resolved to its live owner.
+        """
+        for region_idx in self._owned_region_indices():
+            region = self.regions.region(region_idx)
+            self.work.add_scan(region.area)
+            self.clock += self.cost_model.work_time(SCAN_CELL_UNITS * region.area)
+            template = build_loc_data(
+                self.proc, self.proc, self.view, self.delta, region
             )
-            self._emit(packet, payload_cells=packet.payload_cells)
-        self.delta.clear_region(self.own_region)
-        self._chg_loc = [0, 0]
+            if template is None:
+                continue
+            bbox, values = template.bbox, template.values
+            if self.schedule.packet_structure is PacketStructure.FULL_REGION:
+                bbox = region
+                values = self.view.extract(region)
+            override = (
+                self._encoding_override(UpdateKind.SEND_LOC_DATA, self.proc)
+                if region_idx == self.proc
+                else None
+            )
+            sent_to = set()
+            for neighbor in self.regions.neighbors(region_idx):
+                dst = self._live_owner(neighbor)
+                if dst == self.proc or dst in sent_to:
+                    continue
+                sent_to.add(dst)
+                packet = UpdatePacket(
+                    kind=template.kind,
+                    src=self.proc,
+                    dst=dst,
+                    bbox=bbox,
+                    values=values,
+                    region_owner=region_idx,
+                    wire_bytes=override,
+                )
+                self._emit(packet, payload_cells=packet.payload_cells)
+            self.delta.clear_region(region)
+            if region_idx == self.proc:
+                self._chg_loc = [0, 0]
 
     def _send_rmt_data(self) -> None:
         """Push accumulated deltas of every remote region to its owner.
@@ -531,7 +815,10 @@ class MPNode:
         ordering, and accounted scan work are identical either way (the
         simulated scan cost models the original program's full sweep).
         """
-        scan_area = self._total_area - self.own_region.area
+        owned = set(self._owned_region_indices())
+        scan_area = self._total_area - sum(
+            self.regions.region(r).area for r in owned
+        )
         self.work.add_scan(scan_area)
         self.clock += self.cost_model.work_time(SCAN_CELL_UNITS * scan_area)
         if active_kernels() == "vectorized":
@@ -539,7 +826,10 @@ class MPNode:
         else:
             dirty_by_owner = None
         for owner in range(self.regions.n_procs):
-            if owner == self.proc:
+            if owner in owned:
+                continue
+            dst = self._live_owner(owner)
+            if dst == self.proc:  # pragma: no cover - owned covers this
                 continue
             region = self.regions.region(owner)
             if dirty_by_owner is None:
@@ -558,6 +848,18 @@ class MPNode:
                     )
             if packet is None:
                 continue
+            if dst != owner:
+                # The region's original owner is dead: redirect the delta
+                # push to the adopter (the region identity stays in
+                # ``region_owner`` so the adopter can attribute it).
+                packet = UpdatePacket(
+                    kind=packet.kind,
+                    src=packet.src,
+                    dst=dst,
+                    bbox=packet.bbox,
+                    values=packet.values,
+                    region_owner=owner,
+                )
             if self.schedule.packet_structure is PacketStructure.FULL_REGION:
                 packet = UpdatePacket(
                     kind=packet.kind,
@@ -636,6 +938,22 @@ class MPNode:
                 self._rsp_loc_seen.add(rid)
             self.view.accumulate(packet.bbox, packet.values)
             self.delta.accumulate(packet.bbox, packet.values)
+        elif kind is UpdateKind.HEARTBEAT:
+            ack = build_control(
+                UpdateKind.HEARTBEAT_ACK, self.proc, packet.src, self.proc,
+                req_id=packet.req_id,
+            )
+            self._emit(ack, payload_cells=0)
+        elif kind is UpdateKind.HEARTBEAT_ACK:
+            rid = packet.req_id
+            if rid is not None and rid in self._pending_probes:
+                peer = self._pending_probes.pop(rid)[0]
+                self._abandons_by_peer[peer] = 0
+            else:
+                self.duplicate_responses_ignored += 1
+        elif kind is UpdateKind.DEATH_NOTICE:
+            self.death_notices_received += 1
+            self._handle_death(packet.region_owner, self.clock)
         else:  # pragma: no cover - exhaustive over UpdateKind
             raise ProtocolError(f"node cannot process packet kind {kind}")
 
@@ -656,15 +974,34 @@ class MPNode:
             self.view.accumulate(packet.bbox, pending)
 
     def _answer_req_rmt(self, request: UpdatePacket) -> None:
-        """Serve absolute data from our (authoritative) owned region."""
-        clipped = request.bbox.intersect(self.own_region)
+        """Serve absolute data from a region we authoritatively own.
+
+        Crash-aware runs resolve the served region through the ownership
+        map: a request that raced a death (sent to a node that no longer
+        — or never — owned the region in our view) is counted as
+        misdirected and dropped; the requester's watchdog re-resolves the
+        owner and retries.
+        """
+        if self.ownership is not None:
+            region_idx = request.region_owner
+            if not self._owns_region(region_idx):
+                self.misdirected_requests += 1
+                return
+            serving = self.regions.region(region_idx)
+        else:
+            region_idx = self.proc
+            serving = self.own_region
+        clipped = request.bbox.intersect(serving)
         if clipped is None:
+            if self.ownership is not None:
+                self.misdirected_requests += 1
+                return
             raise ProtocolError(
                 f"proc {self.proc} received ReqRmtData for a region it does not own"
             )
         response = build_response(
             build_request(
-                UpdateKind.REQ_RMT_DATA, request.src, self.proc, clipped, self.proc,
+                UpdateKind.REQ_RMT_DATA, request.src, self.proc, clipped, region_idx,
                 req_id=request.req_id,
             ),
             self.view.extract(clipped),

@@ -76,6 +76,7 @@ def run_shared_memory(
     protocol: str = "invalidate",
     keep_trace: bool = False,
     check_invariants: bool = False,
+    crashes: Sequence = (),
 ) -> ParallelRunResult:
     """Simulate the shared memory LocusRoute on *circuit*.
 
@@ -113,6 +114,14 @@ def run_shared_memory(
         run; MSI transition legality during the ``"invalidate"`` trace
         replays).  The report lands in ``meta["verification"]``; its
         counters are flushed into telemetry.
+    crashes:
+        Optional sequence of :class:`~repro.faults.NodeCrash` events
+        mirroring the message passing fail-stop model: at its crash time
+        a processor stops dead — its in-flight wire is returned to the
+        distributed loop's self-scheduling queue (the next idle survivor
+        picks it up) and the iteration barrier waits only on survivors.
+        Requires the dynamic distributed loop (a static assignment has
+        no mechanism for survivors to absorb a dead processor's list).
     """
     wall0, cpu0 = time.perf_counter(), time.process_time()
     if protocol not in ("invalidate", "update"):
@@ -123,6 +132,20 @@ def run_shared_memory(
         assignment.n_procs != n_procs or assignment.n_wires != circuit.n_wires
     ):
         raise SimulationError("assignment does not match circuit / processor count")
+    crashes = tuple(crashes)
+    if crashes:
+        if assignment is not None:
+            raise SimulationError(
+                "crash recovery needs the dynamic distributed loop; a static "
+                "assignment cannot re-schedule a dead processor's wires"
+            )
+        bad = [c.proc for c in crashes if not (0 <= c.proc < n_procs)]
+        if bad:
+            raise SimulationError(f"crash plan names unknown processors {bad}")
+        if len({c.proc for c in crashes}) != len(crashes):
+            raise SimulationError("crash plan names a processor twice")
+        if len(crashes) >= n_procs:
+            raise SimulationError("at least one processor must survive the crash plan")
 
     sim = Simulator()
     # Hierarchical (NUMA) timing: references outside a processor's own
@@ -161,7 +184,20 @@ def run_shared_memory(
     static_lists = assignment.per_proc_lists() if assignment is not None else None
     static_pos = [0] * n_procs
 
-    state = {"iteration": 0, "at_barrier": 0, "finish_time": 0.0}
+    state = {"iteration": 0, "finish_time": 0.0}
+    at_barrier: set = set()
+    crashed = [False] * n_procs
+    #: proc -> (wire_idx, cancellable commit handle) while a wire is in
+    #: flight; a crash between start and commit cancels the commit and
+    #: pushes the wire back into the loop.
+    inflight: Dict[int, tuple] = {}
+    #: wires ripped out of the truth array whose re-route died with its
+    #: processor — the adopting survivor must skip the (already done)
+    #: rip-up or it would remove the path twice.
+    ripped_pending: set = set()
+
+    def live_procs() -> list:
+        return [p for p in range(n_procs) if not crashed[p]]
 
     def work_time(units: float) -> float:
         return cost_model.work_time(units) * slow
@@ -180,6 +216,8 @@ def run_shared_memory(
         return wire
 
     def proc_step(proc: int, event_time: float) -> None:
+        if crashed[proc]:
+            return
         clocks[proc] = max(clocks[proc], event_time)
         wire_idx = next_wire(proc)
         if wire_idx is None:
@@ -190,8 +228,13 @@ def run_shared_memory(
 
         old = paths.get(wire_idx)
         ripup_units = 0.0
+        if old is not None and wire_idx in ripped_pending:
+            # The wire's previous owner already ripped this path out of
+            # the shared array before dying; only the re-route remains.
+            old = None
         if old is not None:
             truth.remove_path(old.flat_cells, strict=True)
+            ripped_pending.add(wire_idx)
             tango.record_ripup(t0, proc, wire_idx, old)
             if monitor is not None:
                 monitor.on_ripup(wire_idx, old, t0)
@@ -214,11 +257,16 @@ def run_shared_memory(
 
         t_commit = clocks[proc]
         tango.record_evaluation(t0, t_commit, proc, result.segments)
-        sim.at(t_commit, lambda: commit(proc, wire_idx, result.path, t_commit))
+        handle = sim.at(
+            t_commit, lambda: commit(proc, wire_idx, result.path, t_commit)
+        )
+        inflight[proc] = (wire_idx, handle)
 
     def commit(proc: int, wire_idx: int, path: RoutePath, time: float) -> None:
+        inflight.pop(proc, None)
         wire_prices[wire_idx] = truth.path_cost(path.flat_cells)
         truth.apply_path(path.flat_cells)
+        ripped_pending.discard(wire_idx)
         tango.record_commit(time, proc, wire_idx, path)
         if monitor is not None:
             monitor.on_commit(wire_idx, path, time)
@@ -228,12 +276,17 @@ def run_shared_memory(
         sim.at(time, lambda: proc_step(proc, time))
 
     def arrive_barrier(proc: int) -> None:
-        state["at_barrier"] += 1
-        if state["at_barrier"] < n_procs:
+        at_barrier.add(proc)
+        maybe_release_barrier()
+
+    def maybe_release_barrier() -> None:
+        live = live_procs()
+        if not live or not at_barrier.issuperset(live):
             return
-        # Everyone arrived: the barrier releases at the latest clock.
-        release = max(clocks)
-        state["at_barrier"] = 0
+        # Every survivor arrived: the barrier releases at the latest
+        # live clock (a dead processor's frozen clock never gates it).
+        release = max(clocks[p] for p in live)
+        at_barrier.clear()
         state["iteration"] += 1
         state["finish_time"] = release
         if monitor is not None:
@@ -245,10 +298,36 @@ def run_shared_memory(
         else:
             for p in range(n_procs):
                 static_pos[p] = 0
-        for p in range(n_procs):
+        for p in live:
             clocks[p] = release
-        for p in range(n_procs):
+        for p in live:
             sim.at(release, lambda p=p: proc_step(p, release))
+
+    def do_crash(c) -> None:
+        """Fail-stop a shared memory processor at its planned time."""
+        proc = c.proc
+        if crashed[proc]:
+            return
+        crashed[proc] = True
+        entry = inflight.pop(proc, None)
+        if entry is not None:
+            wire_idx, handle = entry
+            sim.cancel(handle)
+            # The dead processor's half-routed wire re-enters the
+            # distributed loop: self-scheduling is the recovery story on
+            # the shared memory side.
+            loop.push_back(wire_idx)
+            # A survivor parked at the barrier must wake up to take it.
+            parked = sorted(p for p in at_barrier if not crashed[p])
+            if parked:
+                waker = parked[0]
+                at_barrier.discard(waker)
+                sim.at(c.at_s, lambda p=waker, t=c.at_s: proc_step(p, t))
+        at_barrier.discard(proc)
+        maybe_release_barrier()
+
+    for c in crashes:
+        sim.at(c.at_s, lambda cc=c: do_crash(cc))
 
     for p in range(n_procs):
         sim.at(0.0, lambda p=p: proc_step(p, 0.0))
@@ -258,6 +337,11 @@ def run_shared_memory(
         raise SimulationError("shared memory run ended before all iterations completed")
     if len(paths) != circuit.n_wires:
         raise SimulationError("not every wire was routed")
+    if ripped_pending:
+        raise SimulationError(
+            f"wires {sorted(ripped_pending)} were ripped up but never "
+            "rerouted after a crash"
+        )
     if sum(wires_routed) != circuit.n_wires * iterations:
         raise SimulationError(
             f"routed {sum(wires_routed)} wire instances, expected "
@@ -334,6 +418,12 @@ def run_shared_memory(
         "trace_records": tango.trace.n_records,
         "trace_references": tango.trace.n_references,
     }
+    if crashes:
+        meta["crash"] = {
+            "planned": [[int(c.proc), float(c.at_s)] for c in crashes],
+            "survivors": live_procs(),
+            "requeued_wires": int(loop.requeues),
+        }
     if by_line:
         meta["coherence_by_line_size"] = {ls: s.as_dict() for ls, s in by_line.items()}
     if keep_trace and collect_trace:

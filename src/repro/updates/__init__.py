@@ -6,6 +6,7 @@ from .packets import (
     ENTRY_BYTES,
     HEADER_BYTES,
     UpdatePacket,
+    build_control,
     build_loc_data,
     build_request,
     build_response,
@@ -19,19 +20,21 @@ from .structures import (
     PacketStructure,
     wire_based_bytes,
 )
-from .types import UpdateKind, is_data, is_request, is_sender_initiated
+from .types import UpdateKind, is_control, is_data, is_request, is_sender_initiated
 
 __all__ = [
     "UpdateKind",
     "is_sender_initiated",
     "is_request",
     "is_data",
+    "is_control",
     "UpdatePacket",
     "packet_bytes",
     "build_loc_data",
     "build_rmt_data",
     "build_request",
     "build_response",
+    "build_control",
     "HEADER_BYTES",
     "ENTRY_BYTES",
     "UpdateSchedule",

@@ -32,7 +32,7 @@ from ..errors import ProtocolError
 from ..grid.bbox import BBox
 from ..grid.cost_array import CostArray
 from ..grid.delta import DeltaArray
-from .types import UpdateKind, is_data, is_request
+from .types import UpdateKind, is_control, is_data, is_request
 
 __all__ = [
     "HEADER_BYTES",
@@ -43,6 +43,7 @@ __all__ = [
     "build_rmt_data",
     "build_request",
     "build_response",
+    "build_control",
 ]
 
 #: Fixed per-packet header: kind/src/dst/seq plus 4 x 16-bit bbox coordinates.
@@ -79,7 +80,7 @@ class UpdatePacket:
     req_id: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if is_request(self.kind):
+        if is_request(self.kind) or is_control(self.kind):
             if self.values is not None:
                 raise ProtocolError(f"{self.kind} packets carry no payload")
         elif is_data(self.kind):
@@ -106,7 +107,7 @@ class UpdatePacket:
 
 def packet_bytes(kind: UpdateKind, bbox: BBox) -> int:
     """Wire size of a packet of *kind* covering *bbox*."""
-    if is_request(kind):
+    if is_request(kind) or is_control(kind):
         return HEADER_BYTES
     return HEADER_BYTES + ENTRY_BYTES * bbox.area
 
@@ -175,6 +176,33 @@ def build_request(
         bbox=bbox,
         values=None,
         region_owner=region_owner,
+        req_id=req_id,
+    )
+
+
+def build_control(
+    kind: UpdateKind,
+    src: int,
+    dst: int,
+    subject: int,
+    req_id: Optional[int] = None,
+) -> UpdatePacket:
+    """Build a header-only liveness packet (HEARTBEAT / ACK / DEATH_NOTICE).
+
+    ``subject`` is the processor the packet is about — the prober for a
+    HEARTBEAT, the responder for an ACK, the confirmed-dead processor for
+    a DEATH_NOTICE — and rides in the header's ``region_owner`` field, so
+    control packets add no payload bytes.
+    """
+    if not is_control(kind):
+        raise ProtocolError(f"{kind} is not a control kind")
+    return UpdatePacket(
+        kind=kind,
+        src=src,
+        dst=dst,
+        bbox=BBox(0, 0, 0, 0),
+        values=None,
+        region_owner=subject,
         req_id=req_id,
     )
 

@@ -19,13 +19,25 @@ ReqLocData      receiver (owner)   a request for a remote's deltas in the
 
 Receiver-initiated requests additionally choose **blocking** (requester
 idles until the response arrives) or **non-blocking** semantics (§4.3.3).
+
+Beyond the paper's four transaction types, three header-only *control*
+kinds support failure detection under crash-fault plans: a suspected
+peer is probed with ``HEARTBEAT``, answers with ``HEARTBEAT_ACK``, and a
+confirmed death is gossiped to every survivor as ``DEATH_NOTICE`` (the
+dead processor id rides in the packet's ``region_owner`` field).
 """
 
 from __future__ import annotations
 
 import enum
 
-__all__ = ["UpdateKind", "is_sender_initiated", "is_request", "is_data"]
+__all__ = [
+    "UpdateKind",
+    "is_sender_initiated",
+    "is_request",
+    "is_data",
+    "is_control",
+]
 
 
 class UpdateKind(enum.Enum):
@@ -37,6 +49,9 @@ class UpdateKind(enum.Enum):
     REQ_LOC_DATA = "ReqLocData"  #: owner-initiated request for remote deltas
     RSP_RMT_DATA = "RspRmtData"  #: absolute-data response to ReqRmtData
     RSP_LOC_DATA = "RspLocData"  #: delta-data response to ReqLocData
+    HEARTBEAT = "Heartbeat"  #: liveness probe to a suspected peer
+    HEARTBEAT_ACK = "HeartbeatAck"  #: probe answer (peer is alive)
+    DEATH_NOTICE = "DeathNotice"  #: gossip: ``region_owner`` is confirmed dead
 
 
 def is_sender_initiated(kind: UpdateKind) -> bool:
@@ -56,4 +71,13 @@ def is_data(kind: UpdateKind) -> bool:
         UpdateKind.SEND_RMT_DATA,
         UpdateKind.RSP_RMT_DATA,
         UpdateKind.RSP_LOC_DATA,
+    )
+
+
+def is_control(kind: UpdateKind) -> bool:
+    """True for the header-only liveness/membership packets."""
+    return kind in (
+        UpdateKind.HEARTBEAT,
+        UpdateKind.HEARTBEAT_ACK,
+        UpdateKind.DEATH_NOTICE,
     )

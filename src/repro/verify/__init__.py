@@ -20,6 +20,7 @@ from .invariants import (
     CoherenceInvariantChecker,
     CostConservationMonitor,
     NetworkInvariantMonitor,
+    check_ownership_totality,
     check_replica_convergence,
     check_truth_is_path_union,
     first_differing_cell,
@@ -33,6 +34,7 @@ __all__ = [
     "CoherenceInvariantChecker",
     "CostConservationMonitor",
     "NetworkInvariantMonitor",
+    "check_ownership_totality",
     "check_replica_convergence",
     "check_truth_is_path_union",
     "first_differing_cell",

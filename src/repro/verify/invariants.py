@@ -43,6 +43,7 @@ __all__ = [
     "CoherenceInvariantChecker",
     "NetworkInvariantMonitor",
     "check_replica_convergence",
+    "check_ownership_totality",
 ]
 
 #: Event-kernel probe cadence for the periodic accounting checks.
@@ -442,4 +443,97 @@ def check_replica_convergence(
             expected=exp,
             actual=actual,
         )
+    return ok
+
+
+# ----------------------------------------------------------------------
+# post-recovery ownership totality (message passing, crash plans)
+# ----------------------------------------------------------------------
+def check_ownership_totality(
+    report: VerificationReport,
+    nodes: Sequence,
+    regions,
+    confirmed_dead,
+    end_time: float,
+    engine: str = "message_passing",
+) -> bool:
+    """After crash recovery, every region has exactly one live owner.
+
+    Three statements, checked from the per-node ownership replicas:
+
+    - **totality** — in every live node's map, each region resolves to a
+      processor that is live (in that node's view) and not in the
+      simulator's confirmed-dead set, so every cell of the cost array
+      has exactly one live owner;
+    - **agreement** — all live nodes hold the *same* region -> owner
+      vector (the deterministic hash ring converged regardless of the
+      order deaths were learned in);
+    - **no false positives** — every confirmed-dead processor really
+      executed its fail-stop (a live node voted off the ring would be a
+      detector false positive, reported distinctly).
+    """
+    dead = set(int(p) for p in confirmed_dead)
+    live_nodes = [n for n in nodes if not n.crashed and n.proc not in dead]
+    ok = report.check(
+        "ownership-totality",
+        bool(live_nodes),
+        f"{engine}: no live node survived the crash plan",
+        event_time_s=end_time,
+    )
+    vectors = {}
+    for node in live_nodes:
+        if node.ownership is None:
+            continue
+        vec = node.ownership.owner_vector()
+        vectors[node.proc] = vec
+        total = len(vec) == regions.n_procs
+        orphaned = [r for r, owner in enumerate(vec) if owner in dead]
+        viewed_dead = [
+            r for r, owner in enumerate(vec) if not node.ownership.is_live(owner)
+        ]
+        ok = (
+            report.check(
+                "ownership-totality",
+                total and not orphaned and not viewed_dead,
+                f"{engine}: node {node.proc}'s ownership map leaves regions "
+                "without a live owner",
+                proc=node.proc,
+                event_time_s=end_time,
+                expected=[],
+                actual=sorted(set(orphaned) | set(viewed_dead)),
+            )
+            and ok
+        )
+    if vectors:
+        reference_proc = min(vectors)
+        reference = vectors[reference_proc]
+        disagreeing = sorted(
+            p for p, vec in vectors.items() if vec != reference
+        )
+        ok = (
+            report.check(
+                "ownership-agreement",
+                not disagreeing,
+                f"{engine}: live nodes disagree on the region -> owner map",
+                event_time_s=end_time,
+                expected=list(reference),
+                actual=disagreeing,
+            )
+            and ok
+        )
+        if not disagreeing:
+            report.count("ownership-agreement", len(vectors))
+    false_positives = sorted(p for p in dead if not nodes[p].crashed)
+    ok = (
+        report.check(
+            "ownership-totality",
+            not false_positives,
+            f"{engine}: live processors were declared dead "
+            "(failure detector false positive)",
+            event_time_s=end_time,
+            expected=[],
+            actual=false_positives,
+        )
+        and ok
+    )
     return ok

@@ -69,7 +69,8 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "T1", "T2", "T3", "T4", "T5", "T6",
             "X1", "X2", "X3", "X4", "X5", "X6",
-            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "R1", "F1",
+            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "R1",
+            "F1", "F2",
         }
 
     def test_unknown_experiment_raises(self):
