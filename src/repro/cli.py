@@ -10,6 +10,9 @@ Installed as ``locusroute`` (also ``python -m repro``).  Subcommands:
     Run the message passing simulation with a chosen update schedule.
 ``sm``
     Run the shared memory simulation with chosen cache line sizes.
+``run``
+    Run a *live* parallel router — real worker processes on real cores
+    instead of the event-driven simulators (docs/PARALLEL.md).
 ``experiment``
     Run paper experiments (T1-T6, X1-X5, or ``all``) and print the
     paper-vs-measured tables.
@@ -32,6 +35,8 @@ Examples
     locusroute route --name bnrE --iterations 3
     locusroute mp --name bnrE --send-rmt 2 --send-loc 10 --procs 16
     locusroute sm --name bnrE --line-sizes 4 8 16 32
+    locusroute run --live sm --procs 4 --quick
+    locusroute run --live mp --procs 4 --send-rmt 1 --send-loc 1 --quick
     locusroute experiment T1 T6
     locusroute experiment all --quick --out results/
     locusroute verify --quick
@@ -52,7 +57,13 @@ from .errors import ReproError
 from .harness.pool import default_jobs
 from .harness.runner import BENCH_FILENAME, run_all
 from .kernels import KERNEL_MODES, set_kernels
-from .parallel import run_dynamic_assignment, run_message_passing, run_shared_memory
+from .parallel import (
+    run_dynamic_assignment,
+    run_live_message_passing,
+    run_live_shared_memory,
+    run_message_passing,
+    run_shared_memory,
+)
 from .route import SequentialRouter
 from .updates import PacketStructure, UpdateSchedule
 
@@ -215,6 +226,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the repro.verify invariant checkers alongside the simulation",
     )
     p_sm.add_argument("--json", action="store_true", help="print a JSON summary")
+
+    p_run = sub.add_parser(
+        "run", help="live parallel execution on real cores (docs/PARALLEL.md)"
+    )
+    _add_circuit_args(p_run)
+    p_run.add_argument(
+        "--live",
+        choices=["sm", "mp"],
+        required=True,
+        help="which paradigm to run live: shared memory or message passing",
+    )
+    p_run.add_argument("--procs", type=int, default=2, help="worker processes")
+    p_run.add_argument("--iterations", type=int, default=3)
+    p_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="wire-order shuffle seed for the shared-memory distributed loop "
+        "(default: natural order)",
+    )
+    p_run.add_argument("--send-loc", type=int, default=None, help="SendLocData interval (mp)")
+    p_run.add_argument("--send-rmt", type=int, default=None, help="SendRmtData interval (mp)")
+    p_run.add_argument("--req-rmt", type=int, default=None, help="ReqRmtData interval (mp)")
+    p_run.add_argument("--blocking", action="store_true", help="blocking requests (mp)")
+    p_run.add_argument(
+        "--start-method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="multiprocessing start method (default: platform default, or "
+        "the REPRO_MP_START_METHOD environment variable)",
+    )
+    p_run.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="abort the live run after this much wall time",
+    )
+    p_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-scale smoke run: 160-wire circuit, 2 iterations",
+    )
+    p_run.add_argument("--json", action="store_true", help="print a JSON summary")
 
     p_exp = sub.add_parser("experiment", help="run paper experiments")
     p_exp.add_argument("ids", nargs="+", help="experiment ids (T1..T6, X1..X5, or 'all')")
@@ -473,6 +528,73 @@ def _cmd_sm(args: argparse.Namespace) -> int:
     return _verification_exit(result, args)
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.quick:
+        if args.wires is None and args.load is None:
+            args.wires = 160
+        if args.iterations == 3:  # the argparse default
+            args.iterations = 2
+    circuit = _get_circuit(args)
+    if args.live == "sm":
+        result = run_live_shared_memory(
+            circuit,
+            n_procs=args.procs,
+            iterations=args.iterations,
+            seed=args.seed,
+            start_method=args.start_method,
+            timeout_s=args.timeout,
+        )
+    else:
+        if all(v is None for v in (args.send_loc, args.send_rmt, args.req_rmt)):
+            schedule = None  # library default: the SRD=1 SLD=1 push schedule
+        else:
+            schedule = UpdateSchedule(
+                send_loc_every=args.send_loc,
+                send_rmt_every=args.send_rmt,
+                req_rmt_every=args.req_rmt,
+                blocking=args.blocking,
+            )
+        result = run_live_message_passing(
+            circuit,
+            schedule,
+            n_procs=args.procs,
+            iterations=args.iterations,
+            start_method=args.start_method,
+            timeout_s=args.timeout,
+        )
+    if args.json:
+        print(json.dumps(result.summary_dict(), indent=1))
+        return 0 if result.replay_ok else 1
+    print(f"{circuit.describe()}")
+    print(
+        f"live {result.paradigm}: {args.procs} processes "
+        f"({result.meta['start_method']} start, {result.meta['kernel_mode']} kernels)"
+    )
+    for key, value in result.table_row().items():
+        print(f"  {key}: {value}")
+    print(f"  total wall: {result.wall_s:.3f}s (routing {result.routing_wall_s:.3f}s)")
+    if args.live == "mp":
+        traffic = result.meta["traffic"]
+        print(
+            f"  traffic: {traffic['messages_sent']} packets, "
+            f"{traffic['bytes_sent']} bytes, "
+            f"{traffic['requests_sent']} requests "
+            f"({traffic['requests_abandoned']} abandoned)"
+        )
+        print(f"  max node-view divergence: {result.meta['view_divergence_max']}")
+    else:
+        crash = result.meta.get("crash", {})
+        if crash.get("confirmed"):
+            print(
+                f"  crashes: {len(crash['confirmed'])} confirmed, "
+                f"{crash['requeued_wires']} wires requeued"
+            )
+    if not result.replay_ok:
+        print("REPLAY VERIFICATION FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_dynamic(args: argparse.Namespace) -> int:
     circuit = _get_circuit(args)
     schedule = UpdateSchedule(
@@ -587,6 +709,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "route": _cmd_route,
         "mp": _cmd_mp,
         "sm": _cmd_sm,
+        "run": _cmd_run,
         "dynamic": _cmd_dynamic,
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,

@@ -36,6 +36,11 @@ from .bbox import BBox
 
 __all__ = ["CostArray"]
 
+#: Marker stored in ``_row_valid`` by :meth:`CostArray.wrap`: the backing
+#: buffer is shared with other processes, so the prefix cache (whose
+#: invalidation only sees local writes) must stay off.
+_WRAPPED = object()
+
 
 class CostArray:
     """Wire-occupancy counts over the routing grid.
@@ -99,6 +104,45 @@ class CostArray:
     def copy(self) -> "CostArray":
         """Deep copy."""
         return CostArray(self.n_channels, self.n_grids, self._data)
+
+    @classmethod
+    def wrap(cls, data: np.ndarray) -> "CostArray":
+        """Adopt *data* as the live backing array **without copying**.
+
+        This is how the live shared-memory router views the grid that
+        lives in a ``multiprocessing.shared_memory`` segment: every
+        process wraps the same buffer, so writes by one worker are
+        immediately visible (and deliberately unsynchronised — stale —
+        for readers, paper §3).
+
+        The buffer must be a C-contiguous ``int32`` array of shape
+        ``(n_channels, n_grids)``.  Because other processes mutate the
+        buffer behind this object's back, a wrapped array must never
+        :meth:`enable_prefix_cache` — invalidation hooks only see local
+        writes.  :meth:`enable_prefix_cache` raises on a wrapped array.
+        """
+        if not isinstance(data, np.ndarray) or data.ndim != 2:
+            raise GridError("wrap needs a 2-D numpy array")
+        if data.dtype != np.int32:
+            raise GridError(f"wrap needs int32 data, got {data.dtype}")
+        if not data.flags["C_CONTIGUOUS"]:
+            raise GridError("wrap needs a C-contiguous buffer")
+        n_channels, n_grids = (int(s) for s in data.shape)
+        if n_channels < 1 or n_grids < 1:
+            raise GridError(f"bad cost array shape ({n_channels}, {n_grids})")
+        self = object.__new__(cls)
+        self.n_channels = n_channels
+        self.n_grids = n_grids
+        self._data = data
+        self._cache_on = False
+        self._row_prefix_tab = None
+        # ``_row_valid is None`` marks a cache-capable array; a wrapped
+        # array reuses the slot as a shared-buffer marker (ndarray, never
+        # None) so enable_prefix_cache can refuse it.
+        self._row_valid = _WRAPPED
+        self._col_prefix_tab = None
+        self._col_valid = False
+        return self
 
     def __getitem__(self, key):  # noqa: ANN001 - numpy fancy indexing passthrough
         return self._data[key]
@@ -174,6 +218,11 @@ class CostArray:
         """
         if self._cache_on:
             return
+        if self._row_valid is _WRAPPED:
+            raise GridError(
+                "cannot enable the prefix cache on a wrapped shared buffer: "
+                "remote writes bypass the invalidation hooks"
+            )
         self._cache_on = True
         self._row_prefix_tab = np.zeros(
             (self.n_channels, self.n_grids + 1), dtype=np.int64

@@ -1049,6 +1049,154 @@ def run_f2_crash_recovery(quick: bool = False) -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# X7 — live execution vs the event-driven simulators
+# ----------------------------------------------------------------------
+def run_x7_live_vs_sim(quick: bool = False) -> ExperimentResult:
+    """Real cores vs simulated processors, side by side (docs/PARALLEL.md).
+
+    Runs both live routers next to their simulators on the same circuit
+    and tabulates quality, time (wall clock for live rows, virtual time
+    for simulated rows — the ``clock`` column says which), and message
+    traffic.  The checks assert what holds on *any* host: completion,
+    bit-exact commit-log replay, and quality agreement within the
+    documented tolerance.  The >1.5x live speedup check only arms on
+    hosts with at least 4 cores (single-core CI containers cannot
+    demonstrate parallelism); the measured ratio is always reported in
+    ``extras`` either way.
+    """
+    import os
+
+    from ..parallel.live import run_live_message_passing, run_live_shared_memory
+    from ..route import SequentialRouter
+    from ..verify.live import LIVE_QUALITY_TOLERANCE
+
+    circuit = quick_circuit("bnrE", quick)
+    iters = _iters(quick)
+    cores = os.cpu_count() or 1
+    n_live = max(2, min(4, cores))
+
+    seq = SequentialRouter(circuit, iterations=iters).run()
+    sm_sim = run_shared_memory(
+        circuit, n_procs=n_live, iterations=iters, collect_trace=False
+    )
+    mp_schedule = UpdateSchedule.sender_initiated(1, 1)
+    mp_sim = run_message_passing(
+        circuit, mp_schedule, n_procs=n_live, iterations=iters
+    )
+    live_solo = run_live_shared_memory(circuit, n_procs=1, iterations=iters)
+    live_sm = run_live_shared_memory(circuit, n_procs=n_live, iterations=iters)
+    live_mp = run_live_message_passing(
+        circuit, mp_schedule, n_procs=n_live, iterations=iters
+    )
+
+    def row(impl, procs, quality, time_s, clock, messages="-", replay="-"):
+        return {
+            "implementation": impl,
+            "procs": procs,
+            "ckt_height": quality.circuit_height,
+            "occupancy": quality.occupancy_factor,
+            "time_s": round(time_s, 4),
+            "clock": clock,
+            "messages": messages,
+            "replay_ok": replay,
+        }
+
+    rows = [
+        row("sequential", 1, seq.quality, 0.0, "-"),
+        row("sm simulated", n_live, sm_sim.quality, sm_sim.exec_time_s, "virtual"),
+        row(
+            "sm live",
+            n_live,
+            live_sm.quality,
+            live_sm.routing_wall_s,
+            "wall",
+            replay=live_sm.replay_ok,
+        ),
+        row("sm live", 1, live_solo.quality, live_solo.routing_wall_s, "wall",
+            replay=live_solo.replay_ok),
+        row(
+            "mp simulated",
+            n_live,
+            mp_sim.quality,
+            mp_sim.exec_time_s,
+            "virtual",
+            messages=mp_sim.network.n_messages,
+        ),
+        row(
+            "mp live",
+            n_live,
+            live_mp.quality,
+            live_mp.routing_wall_s,
+            "wall",
+            messages=live_mp.meta["traffic"]["messages_sent"],
+            replay=live_mp.replay_ok,
+        ),
+    ]
+
+    def within(live_q, sim_q) -> bool:
+        for attr in ("circuit_height", "occupancy_factor"):
+            sim_v = getattr(sim_q, attr)
+            if sim_v and abs(getattr(live_q, attr) - sim_v) / sim_v > (
+                LIVE_QUALITY_TOLERANCE
+            ):
+                return False
+        return True
+
+    speedup = (
+        live_solo.routing_wall_s / live_sm.routing_wall_s
+        if live_sm.routing_wall_s > 0
+        else 0.0
+    )
+    checks = {
+        "live SM commit-log replay bit-exact": live_sm.replay_ok
+        and live_solo.replay_ok,
+        "live MP log replay is the committed-path union": live_mp.replay_ok,
+        "live SM quality within tolerance of the SM simulator": within(
+            live_sm.quality, sm_sim.quality
+        ),
+        "live MP quality within tolerance of the MP simulator": within(
+            live_mp.quality, mp_sim.quality
+        ),
+        "live quality within tolerance of sequential": within(
+            live_sm.quality, seq.quality
+        )
+        and within(live_mp.quality, seq.quality),
+    }
+    if cores >= 4:
+        checks[f"live SM speedup > 1.5x on {cores} cores"] = speedup > 1.5
+    return ExperimentResult(
+        exp_id="X7",
+        title="Live execution vs event-driven simulation (real cores)",
+        columns=[
+            "implementation",
+            "procs",
+            "ckt_height",
+            "occupancy",
+            "time_s",
+            "clock",
+            "messages",
+            "replay_ok",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "simulated rows report virtual time from the event kernels; live "
+            "rows report wall clock of the routing phase on real worker "
+            f"processes (host has {cores} cores; the speedup check arms at 4+)"
+        ),
+        extras={
+            "cores": cores,
+            "live_sm_speedup": round(speedup, 3),
+            "live_solo_wall_s": live_solo.routing_wall_s,
+            "live_sm_wall_s": live_sm.routing_wall_s,
+            "live_mp_wall_s": live_mp.routing_wall_s,
+            "live_mp_traffic": live_mp.meta["traffic"],
+            "sim_mp_messages": mp_sim.network.n_messages,
+        },
+    )
+
+
 #: Registry of every experiment driver, keyed by experiment id.  The
 #: A-series ablations register themselves on import (see
 #: :mod:`repro.harness.ablations`) to avoid a circular import.
@@ -1065,6 +1213,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "X4": run_x4_locality_measure,
     "X5": run_x5_speedup,
     "X6": run_x6_iterations,
+    "X7": run_x7_live_vs_sim,
     "F1": run_f1_fault_tolerance,
     "F2": run_f2_crash_recovery,
 }

@@ -43,6 +43,7 @@ completes (every simulation terminates — the event kernel has a
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -61,12 +62,15 @@ from typing import (
 )
 
 from ..errors import ExperimentError
+from ..kernels import active_kernels, set_kernels
 
 __all__ = [
     "MAX_POOL_RESPAWNS",
     "RESPAWN_BACKOFF_S",
+    "START_METHOD_ENV",
     "PoolFailure",
     "PoolReport",
+    "mp_context",
     "pool_map",
     "pool_map_salvage",
     "default_jobs",
@@ -79,6 +83,44 @@ R = TypeVar("R")
 MAX_POOL_RESPAWNS = 2
 #: Backoff before the first respawn; doubles on each subsequent one.
 RESPAWN_BACKOFF_S = 0.25
+#: Environment override for the multiprocessing start method used by every
+#: process fan-out in the repo (the experiment pools and the live
+#: routers): ``fork`` / ``spawn`` / ``forkserver``.  Unset or empty keeps
+#: the platform default.  CI runs the suite under ``spawn`` through this.
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def mp_context(method: Optional[str] = None):
+    """The multiprocessing context the repo's process fan-out uses.
+
+    *method* overrides explicitly; otherwise :data:`START_METHOD_ENV` is
+    consulted, falling back to the platform default.  Validates against
+    the platform's available start methods so a typo fails loudly instead
+    of silently using the default.
+    """
+    if method is None:
+        method = os.environ.get(START_METHOD_ENV, "").strip() or None
+    if method is not None and method not in multiprocessing.get_all_start_methods():
+        raise ExperimentError(
+            f"start method {method!r} not available on this platform "
+            f"(have: {multiprocessing.get_all_start_methods()})"
+        )
+    return multiprocessing.get_context(method)
+
+
+def _pool_worker_init(kernel_mode: str) -> None:
+    """Pool-worker initializer: re-establish per-process global state.
+
+    Under ``fork`` workers inherit the parent's globals, but under
+    ``spawn``/``forkserver`` they start from a fresh interpreter — the
+    :mod:`repro.kernels` mode would silently revert to its default and
+    telemetry would start dirty.  Explicitly propagating the kernel mode
+    keeps worker behaviour identical across start methods.
+    """
+    set_kernels(kernel_mode)
+    from ..obs import telemetry
+
+    telemetry.reset()
 
 
 def default_jobs() -> int:
@@ -176,7 +218,12 @@ def _pool_pass(
     failures: List[Tuple[int, BaseException]] = []
     respawns = 0
     while pending:
-        executor = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        executor = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            mp_context=mp_context(),
+            initializer=_pool_worker_init,
+            initargs=(active_kernels(),),
+        )
         broken: Optional[BaseException] = None
         resubmit: List[int] = []
         try:

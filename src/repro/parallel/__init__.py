@@ -8,6 +8,12 @@ traces, cache coherence traffic).
 """
 
 from .dynamic import run_dynamic_assignment
+from .live import (
+    KillPlanEntry,
+    LiveRunResult,
+    run_live_message_passing,
+    run_live_shared_memory,
+)
 from .mp_sim import default_assignment, run_message_passing
 from .node import MPNode, NodePhase, NodeServices
 from .results import NodeSummary, ParallelRunResult
@@ -27,4 +33,8 @@ __all__ = [
     "MPNode",
     "NodeServices",
     "NodePhase",
+    "run_live_shared_memory",
+    "run_live_message_passing",
+    "LiveRunResult",
+    "KillPlanEntry",
 ]

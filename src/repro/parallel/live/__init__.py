@@ -1,0 +1,42 @@
+"""Live (real-core) execution of both parallel LocusRoute paradigms.
+
+Where :mod:`repro.parallel.sm_sim` and :mod:`repro.parallel.mp_sim`
+*model* the paper's two implementations under simulated time, this
+package actually runs them: real worker processes on real cores, a real
+``multiprocessing.shared_memory`` cost array for the shared-memory
+router, and real pickled update packets over pipes for the
+message-passing router.  Durable per-worker commit logs make every run
+replay-verifiable (:mod:`repro.parallel.live.commitlog`).
+"""
+
+from .commitlog import (
+    COMMIT,
+    RIPUP,
+    CommitLogWriter,
+    CommitRecord,
+    ReplayResult,
+    read_log,
+    read_logs,
+    replay_records,
+)
+from .mp_live import DEFAULT_LIVE_POLICY, run_live_message_passing
+from .results import LiveRunResult, LiveWorkerStats
+from .sm_live import KILL_POINTS, KillPlanEntry, run_live_shared_memory
+
+__all__ = [
+    "run_live_shared_memory",
+    "run_live_message_passing",
+    "DEFAULT_LIVE_POLICY",
+    "KillPlanEntry",
+    "KILL_POINTS",
+    "LiveRunResult",
+    "LiveWorkerStats",
+    "CommitRecord",
+    "CommitLogWriter",
+    "ReplayResult",
+    "read_log",
+    "read_logs",
+    "replay_records",
+    "COMMIT",
+    "RIPUP",
+]

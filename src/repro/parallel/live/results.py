@@ -1,0 +1,98 @@
+"""Result records for live (real-core) parallel routing runs.
+
+A :class:`LiveRunResult` is the real-execution analogue of
+:class:`repro.parallel.results.ParallelRunResult`: wall-clock times
+replace simulated virtual time, real message/byte counts replace modelled
+traffic, and a replay-verification verdict records whether the durable
+commit logs reproduced the final array bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ...grid.cost_array import CostArray
+from ...route.path import RoutePath
+from ...route.quality import QualityReport
+
+__all__ = ["LiveRunResult", "LiveWorkerStats"]
+
+
+@dataclass(frozen=True)
+class LiveWorkerStats:
+    """Per-worker accounting reported over the control pipe."""
+
+    slot: int  #: worker slot (stable across respawns)
+    incarnations: int  #: processes that occupied the slot (1 = no respawn)
+    wires_committed: int  #: commits this slot's processes performed
+    grabs: int  #: distributed-loop grabs (SM) / wires started (MP)
+    ripups: int  #: rip-up writes performed
+    cells_written: int  #: total cells scattered into the shared/local array
+    messages_sent: int = 0  #: packets sent over pipes (MP only)
+    messages_received: int = 0  #: packets received (MP only)
+    bytes_sent: int = 0  #: accounted wire bytes sent (MP only)
+    blocked_time_s: float = 0.0  #: time spent waiting on responses (MP only)
+
+
+@dataclass(frozen=True)
+class LiveRunResult:
+    """Outcome of one live parallel routing run (either paradigm)."""
+
+    paradigm: str  #: ``"shared_memory_live"`` or ``"message_passing_live"``
+    quality: QualityReport  #: final-solution quality metrics
+    n_procs: int  #: worker processes requested
+    iterations: int  #: routing iterations performed
+    wall_s: float  #: total wall time including process setup/teardown
+    routing_wall_s: float  #: wall time of the routing phase only
+    replay_ok: bool  #: commit-log replay reproduced the final array bit-exactly
+    paths: Dict[int, RoutePath]  #: final routed path per wire
+    truth: CostArray  #: the final ground-truth cost array
+    wire_router: np.ndarray  #: final-iteration router of each wire
+    worker_stats: List[LiveWorkerStats]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def table_row(self) -> Dict[str, object]:
+        """The standard (height, occupancy, time) results row."""
+        return {
+            "ckt_height": self.quality.circuit_height,
+            "occupancy": self.quality.occupancy_factor,
+            "wall_s": round(self.routing_wall_s, 4),
+            "replay_ok": self.replay_ok,
+        }
+
+    def summary_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable summary (no bulky arrays)."""
+        return {
+            "paradigm": self.paradigm,
+            "quality": self.quality.as_dict(),
+            "n_procs": self.n_procs,
+            "iterations": self.iterations,
+            "wall_s": self.wall_s,
+            "routing_wall_s": self.routing_wall_s,
+            "replay_ok": self.replay_ok,
+            "n_wires": len(self.paths),
+            "workers": [
+                {
+                    "slot": w.slot,
+                    "incarnations": w.incarnations,
+                    "wires_committed": w.wires_committed,
+                    "grabs": w.grabs,
+                    "ripups": w.ripups,
+                    "cells_written": w.cells_written,
+                    "messages_sent": w.messages_sent,
+                    "messages_received": w.messages_received,
+                    "bytes_sent": w.bytes_sent,
+                    "blocked_time_s": w.blocked_time_s,
+                }
+                for w in self.worker_stats
+            ],
+            "meta": {
+                k: v
+                for k, v in self.meta.items()
+                if isinstance(v, (str, int, float, bool, dict, list))
+            },
+        }
+

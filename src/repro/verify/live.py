@@ -1,0 +1,113 @@
+"""Verification checks for the live (real-core) parallel routers.
+
+Three properties tie the live executions back to the rest of the
+verification story (docs/PARALLEL.md):
+
+- **replay**: replaying the durable commit logs must reproduce the final
+  cost array bit-exactly (shared memory) or rebuild a canonical truth
+  array that equals the union of the final committed paths (message
+  passing) — :mod:`repro.parallel.live.commitlog`;
+- **quality**: live runs race real cores, so their solutions legitimately
+  differ from the sequential reference run to run — but staleness only
+  perturbs routing, it does not break it, so quality must stay within
+  :data:`LIVE_QUALITY_TOLERANCE` of the sequential reference;
+- **determinism**: with one worker process there is no race, so repeated
+  runs must be bit-identical.
+
+These checks are scheduling-sensitive (real parallelism!), so they live
+behind the same ``repro verify`` umbrella as the simulators' oracles but
+assert only schedule-independent properties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..circuits.model import Circuit
+from ..route.quality import QualityReport
+from ..route.engine import SequentialRouter
+
+__all__ = ["LIVE_QUALITY_TOLERANCE", "run_live_checks"]
+
+#: Maximum relative deviation of a live run's quality (circuit height and
+#: occupancy factor) from the sequential reference.  The paper reports
+#: low-single-digit-percent degradation at 8 processors; 35% is a loose
+#: envelope that still catches a broken router (a corrupt cost array
+#: typically inflates quality by integer factors) without flaking on
+#: scheduling noise.
+LIVE_QUALITY_TOLERANCE = 0.35
+
+
+def _within_tolerance(live: QualityReport, ref: QualityReport) -> bool:
+    for attr in ("circuit_height", "occupancy_factor"):
+        ref_v = getattr(ref, attr)
+        live_v = getattr(live, attr)
+        if ref_v and abs(live_v - ref_v) / ref_v > LIVE_QUALITY_TOLERANCE:
+            return False
+    return True
+
+
+def run_live_checks(
+    circuit: Circuit,
+    n_procs: int = 2,
+    iterations: int = 2,
+    start_method: Optional[str] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Run both live routers and return per-check verdicts.
+
+    Result shape matches the kernel-equivalence checks: ``label -> {"ok",
+    "detail"}``, so the verify runner and its renderers treat all checked
+    subsystems uniformly.
+    """
+    from ..parallel.live import run_live_message_passing, run_live_shared_memory
+
+    reference = SequentialRouter(circuit, iterations=iterations).run()
+    checks: Dict[str, Dict[str, object]] = {}
+
+    sm = run_live_shared_memory(
+        circuit, n_procs=n_procs, iterations=iterations, start_method=start_method
+    )
+    checks["live-sm-replay"] = {
+        "ok": sm.replay_ok,
+        "detail": f"{n_procs} procs, commit-log replay "
+        + ("bit-exact" if sm.replay_ok else "MISMATCH"),
+    }
+    checks["live-sm-quality"] = {
+        "ok": _within_tolerance(sm.quality, reference.quality),
+        "detail": f"live {sm.quality} vs sequential {reference.quality} "
+        f"(tolerance {LIVE_QUALITY_TOLERANCE:.0%})",
+    }
+
+    mp = run_live_message_passing(
+        circuit, n_procs=n_procs, iterations=iterations, start_method=start_method
+    )
+    checks["live-mp-replay"] = {
+        "ok": mp.replay_ok,
+        "detail": f"{n_procs} procs, log replay is the committed-path union "
+        + ("exactly" if mp.replay_ok else "MISMATCH"),
+    }
+    checks["live-mp-quality"] = {
+        "ok": _within_tolerance(mp.quality, reference.quality),
+        "detail": f"live {mp.quality} vs sequential {reference.quality} "
+        f"(tolerance {LIVE_QUALITY_TOLERANCE:.0%})",
+    }
+
+    solo_a = run_live_shared_memory(
+        circuit, n_procs=1, iterations=iterations, start_method=start_method
+    )
+    solo_b = run_live_shared_memory(
+        circuit, n_procs=1, iterations=iterations, start_method=start_method
+    )
+    identical = (
+        solo_a.quality == solo_b.quality
+        and solo_a.truth == solo_b.truth
+        and solo_a.replay_ok
+        and solo_b.replay_ok
+    )
+    checks["live-sm-determinism"] = {
+        "ok": identical,
+        "detail": "1-proc runs bit-identical"
+        if identical
+        else f"1-proc runs DIVERGED ({solo_a.quality} vs {solo_b.quality})",
+    }
+    return checks

@@ -49,6 +49,8 @@ class VerifyRun:
     extra_runs: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: label -> scalar-vs-vectorized kernel equivalence results.
     kernel_checks: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: label -> live-execution check results (replay / quality / determinism).
+    live_checks: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: Merged totals across the oracle and every extra run.
     combined: VerificationReport = field(default_factory=VerificationReport)
 
@@ -58,6 +60,7 @@ class VerifyRun:
             self.oracle.ok
             and self.combined.ok
             and all(c["identical"] for c in self.kernel_checks.values())
+            and all(c["ok"] for c in self.live_checks.values())
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -69,6 +72,7 @@ class VerifyRun:
             "oracle": self.oracle.as_dict(),
             "extra_runs": self.extra_runs,
             "kernel_checks": self.kernel_checks,
+            "live_checks": self.live_checks,
             "combined": self.combined.as_dict(),
         }
 
@@ -90,6 +94,9 @@ class VerifyRun:
             lines.append(
                 f"  kernel equivalence [{label}]: {status} ({check['detail']})"
             )
+        for label, check in self.live_checks.items():
+            status = "OK" if check["ok"] else "FAIL"
+            lines.append(f"  live execution [{label}]: {status} ({check['detail']})")
         lines.append(
             "verdict: " + ("PASS" if self.ok else "FAIL")
             + f" ({self.combined.total_checks} checks, "
@@ -148,4 +155,8 @@ def run_verification(
     run.kernel_checks = run_kernel_equivalence(
         circuit, n_procs=n_procs, iterations=iterations
     )
+
+    from .live import run_live_checks
+
+    run.live_checks = run_live_checks(circuit, n_procs=2, iterations=iterations)
     return run

@@ -88,6 +88,49 @@ class TestSmCommand:
         assert "line  4B" in out and "line  8B" in out
 
 
+class TestRunCommand:
+    def test_live_sm(self, capsys):
+        code = main(
+            ["run", "--live", "sm", "--wires", "24", "--procs", "2",
+             "--iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shared_memory_live" in out
+        assert "replay_ok: True" in out
+
+    def test_live_mp_with_schedule(self, capsys):
+        code = main(
+            ["run", "--live", "mp", "--wires", "24", "--procs", "2",
+             "--iterations", "2", "--send-rmt", "1", "--send-loc", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "message_passing_live" in out
+        assert "traffic:" in out
+
+    def test_live_sm_json(self, capsys):
+        import json
+
+        code = main(
+            ["run", "--live", "sm", "--wires", "24", "--procs", "1",
+             "--iterations", "2", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["paradigm"] == "shared_memory_live"
+        assert data["replay_ok"] is True
+        assert data["n_wires"] == 24
+
+    def test_quick_defaults(self):
+        args = build_parser().parse_args(["run", "--live", "sm", "--quick"])
+        assert args.procs == 2 and args.iterations == 3 and args.quick
+
+    def test_requires_live_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
 class TestExperimentCommand:
     def test_single_quick_experiment(self, capsys, tmp_path):
         code = main(["experiment", "X4", "--quick", "--out", str(tmp_path)])

@@ -68,7 +68,7 @@ class TestRegistry:
     def test_all_ids_registered(self):
         assert set(EXPERIMENTS) == {
             "T1", "T2", "T3", "T4", "T5", "T6",
-            "X1", "X2", "X3", "X4", "X5", "X6",
+            "X1", "X2", "X3", "X4", "X5", "X6", "X7",
             "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "R1",
             "F1", "F2",
         }

@@ -1,0 +1,387 @@
+"""Differential, property, and stress tests for the live parallel routers.
+
+The live routers (:mod:`repro.parallel.live`) execute on real cores, so
+their parallel runs are scheduling-dependent; these tests pin down the
+properties that must hold regardless of interleaving:
+
+- **differential**: live quality stays within the documented tolerance of
+  the matching simulator and of the sequential reference, and the 1-proc
+  live run *equals* the sequential run (no race, same algorithm);
+- **replay**: commit-log replay reproduces the final array bit-exactly,
+  and (hypothesis) replaying *any* valid interleaving of commit records
+  yields exactly the union of the still-committed paths;
+- **crash stress**: a SIGKILLed worker mid-iteration never loses a
+  committed wire — the run completes via salvage/respawn with correct
+  ``crash_dropped_*`` accounting.
+
+Both start methods are exercised where it matters; the whole suite also
+runs under ``REPRO_MP_START_METHOD=spawn`` in CI.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import tiny_test_circuit
+from repro.errors import SimulationError
+from repro.grid import CostArray
+from repro.parallel import run_message_passing, run_shared_memory
+from repro.parallel.live import (
+    COMMIT,
+    RIPUP,
+    CommitRecord,
+    KillPlanEntry,
+    read_log,
+    replay_records,
+    run_live_message_passing,
+    run_live_shared_memory,
+)
+from repro.parallel.live.commitlog import LOG_MAGIC, CommitLogWriter
+from repro.route import SequentialRouter
+from repro.updates import UpdateSchedule
+from repro.verify.live import LIVE_QUALITY_TOLERANCE
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+ITERATIONS = 2
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return tiny_test_circuit(seed=7, n_wires=24)
+
+
+@pytest.fixture(scope="module")
+def sequential(circuit):
+    return SequentialRouter(circuit, iterations=ITERATIONS).run()
+
+
+def assert_within_tolerance(live, ref):
+    for attr in ("circuit_height", "occupancy_factor"):
+        ref_v, live_v = getattr(ref, attr), getattr(live, attr)
+        assert abs(live_v - ref_v) <= LIVE_QUALITY_TOLERANCE * ref_v, (
+            f"{attr}: live {live_v} vs reference {ref_v} "
+            f"(tolerance {LIVE_QUALITY_TOLERANCE:.0%})"
+        )
+
+
+def assert_complete(result, circuit):
+    """Every wire routed, truth is exactly the union of the final paths."""
+    assert set(result.paths) == set(range(circuit.n_wires))
+    union = CostArray(circuit.n_channels, circuit.n_grids)
+    for path in result.paths.values():
+        union.apply_path(path.flat_cells)
+    assert union == result.truth
+
+
+class TestLiveSharedMemory:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_differential_vs_simulator_and_reference(
+        self, circuit, sequential, start_method
+    ):
+        live = run_live_shared_memory(
+            circuit, n_procs=2, iterations=ITERATIONS, start_method=start_method
+        )
+        assert live.replay_ok, live.meta["replay"]
+        assert_complete(live, circuit)
+        assert_within_tolerance(live.quality, sequential.quality)
+        sim = run_shared_memory(
+            circuit, n_procs=2, iterations=ITERATIONS, collect_trace=False
+        )
+        assert_within_tolerance(live.quality, sim.quality)
+
+    def test_single_proc_equals_sequential(self, circuit, sequential):
+        """One worker, natural order: the sequential algorithm exactly."""
+        live = run_live_shared_memory(circuit, n_procs=1, iterations=ITERATIONS)
+        assert live.replay_ok
+        assert live.quality == sequential.quality
+        assert live.truth == sequential.cost
+        for w, path in sequential.paths.items():
+            assert np.array_equal(live.paths[w].flat_cells, path.flat_cells)
+
+    def test_single_proc_repeats_bit_identical(self, circuit):
+        runs = [
+            run_live_shared_memory(
+                circuit, n_procs=1, iterations=ITERATIONS, seed=123
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].quality == runs[1].quality
+        assert runs[0].truth == runs[1].truth
+        for w in runs[0].paths:
+            assert np.array_equal(
+                runs[0].paths[w].flat_cells, runs[1].paths[w].flat_cells
+            )
+
+    def test_shuffled_order_still_replays(self, circuit):
+        live = run_live_shared_memory(
+            circuit, n_procs=2, iterations=ITERATIONS, seed=99
+        )
+        assert live.replay_ok
+        assert_complete(live, circuit)
+
+
+class TestLiveMessagePassing:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_differential_vs_simulator_and_reference(
+        self, circuit, sequential, start_method
+    ):
+        schedule = UpdateSchedule.sender_initiated(1, 1)
+        live = run_live_message_passing(
+            circuit,
+            schedule,
+            n_procs=2,
+            iterations=ITERATIONS,
+            start_method=start_method,
+        )
+        assert live.replay_ok, live.meta["replay"]
+        assert_complete(live, circuit)
+        assert_within_tolerance(live.quality, sequential.quality)
+        sim = run_message_passing(
+            circuit, schedule, n_procs=2, iterations=ITERATIONS
+        )
+        assert_within_tolerance(live.quality, sim.quality)
+
+    def test_single_proc_repeats_bit_identical(self, circuit):
+        runs = [
+            run_live_message_passing(circuit, n_procs=1, iterations=ITERATIONS)
+            for _ in range(2)
+        ]
+        assert runs[0].quality == runs[1].quality
+        assert runs[0].truth == runs[1].truth
+
+    def test_blocking_requests_and_watchdog_counters(self, circuit):
+        schedule = UpdateSchedule(req_rmt_every=2, blocking=True)
+        live = run_live_message_passing(
+            circuit, schedule, n_procs=2, iterations=ITERATIONS
+        )
+        assert live.replay_ok
+        traffic = live.meta["traffic"]
+        assert traffic["requests_sent"] > 0
+        # every request is eventually serviced or abandoned, never lost
+        assert traffic["requests_serviced"] >= 0
+        assert traffic["requests_abandoned"] + traffic["requests_serviced"] > 0
+
+    def test_req_loc_schedules_rejected(self, circuit):
+        with pytest.raises(SimulationError):
+            run_live_message_passing(
+                circuit,
+                UpdateSchedule.receiver_initiated(1, 5),
+                n_procs=2,
+                iterations=1,
+            )
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: replay of arbitrary commit-record interleavings
+# ---------------------------------------------------------------------------
+N_CHANNELS, N_GRIDS = 4, 16
+
+
+@st.composite
+def record_interleavings(draw):
+    """Valid per-wire record sequences, arbitrarily interleaved globally.
+
+    Per wire: commits in order, each optionally preceded by an explicit
+    rip-up of the previous commit (the live workers' pattern), and
+    optionally a trailing rip-up that leaves the wire unrouted.  Across
+    wires: any interleaving, as produced by real workers racing.
+    """
+    n_wires = draw(st.integers(1, 5))
+    cells_strategy = st.lists(
+        st.integers(0, N_CHANNELS * N_GRIDS - 1),
+        min_size=1,
+        max_size=6,
+        unique=True,
+    )
+    per_wire = {}
+    for w in range(n_wires):
+        commits = [
+            np.sort(np.asarray(draw(cells_strategy), dtype=np.int64))
+            for _ in range(draw(st.integers(1, 3)))
+        ]
+        tokens = []
+        for i, cells in enumerate(commits):
+            if i and draw(st.booleans()):
+                tokens.append((RIPUP, commits[i - 1]))
+            tokens.append((COMMIT, cells))
+        if draw(st.booleans()):
+            tokens.append((RIPUP, commits[-1]))
+        per_wire[w] = tokens
+    ordered = []
+    pending = {w: list(t) for w, t in per_wire.items() if t}
+    while pending:
+        w = draw(st.sampled_from(sorted(pending)))
+        ordered.append((w, *pending[w].pop(0)))
+        if not pending[w]:
+            del pending[w]
+    return ordered
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(interleaving=record_interleavings())
+def test_replay_is_union_of_committed_paths(interleaving):
+    """Replaying any worker interleaving yields the committed-path union."""
+    records = [
+        CommitRecord(
+            kind=kind,
+            worker=wire % 3,
+            iteration=0,
+            wire=wire,
+            seq=seq,
+            price=-1,
+            cells=cells,
+        )
+        for seq, (wire, kind, cells) in enumerate(interleaving)
+    ]
+    replay = replay_records(records, N_CHANNELS, N_GRIDS)
+    # final committed path per wire = its last commit, unless ripped after
+    expected_live = {}
+    for wire, kind, cells in interleaving:
+        if kind == COMMIT:
+            expected_live[wire] = cells
+        else:
+            expected_live.pop(wire, None)
+    assert set(replay.paths) == set(expected_live)
+    union = CostArray(N_CHANNELS, N_GRIDS)
+    for cells in expected_live.values():
+        union.apply_path(cells)
+    assert union == replay.truth
+    assert replay.ok
+    assert replay.commits == sum(1 for _, k, _c in interleaving if k == COMMIT)
+
+
+# ---------------------------------------------------------------------------
+# commit-log durability details
+# ---------------------------------------------------------------------------
+class TestCommitLogFile:
+    def test_roundtrip_and_truncated_tail(self, tmp_path):
+        path = str(tmp_path / "w0.log")
+        writer = CommitLogWriter(path, worker=0)
+        cells = np.array([1, 5, 9], dtype=np.int64)
+        writer.append(COMMIT, 0, 3, 17, cells, price=4)
+        writer.append(RIPUP, 1, 3, 42, cells)
+        writer.close()
+        records = read_log(path)
+        assert [r.kind for r in records] == [COMMIT, RIPUP]
+        assert records[0].price == 4 and records[0].seq == 17
+        assert np.array_equal(records[1].cells, cells)
+        # a SIGKILL mid-append leaves a truncated record: dropped, not fatal
+        with open(path, "ab") as f:
+            f.write(b"\x01\x00\x00")
+        assert [r.kind for r in read_log(path)] == [COMMIT, RIPUP]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not_a_log"
+        path.write_bytes(b"something else entirely")
+        with pytest.raises(SimulationError):
+            read_log(str(path))
+
+    def test_magic_constant_is_stable(self):
+        # the on-disk format is a compatibility surface: changing it must
+        # be a conscious version bump, not an accident
+        assert LOG_MAGIC == b"LRCLOG1\n"
+
+
+# ---------------------------------------------------------------------------
+# seeded kill / recovery stress
+# ---------------------------------------------------------------------------
+class TestCrashStress:
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("point", ["after_grab", "after_ripup", "after_commit"])
+    def test_sigkill_worker_with_respawn(self, circuit, point):
+        plan = (KillPlanEntry(slot=1, after_commits=3, point=point),)
+        result = run_live_shared_memory(
+            circuit,
+            n_procs=2,
+            iterations=ITERATIONS,
+            kill_plan=plan,
+            respawn=True,
+        )
+        assert result.replay_ok, result.meta["replay"]
+        assert_complete(result, circuit)
+        crash = result.meta["crash"]
+        assert crash["planned"] == 1
+        assert any(slot == 1 for slot, _inc in crash["confirmed"])
+        assert crash["respawned"] == 1
+        # durable logs: a completed commit can never be lost to a crash
+        assert crash["crash_dropped_commits"] == 0
+        assert crash["crash_dropped_inflight"] == crash["requeued_wires"]
+        slot1 = result.worker_stats[1]
+        assert slot1.incarnations == 2
+
+    @pytest.mark.timeout(120)
+    def test_kill_fires_even_when_scheduler_would_starve_the_victim(self, circuit):
+        """The distributed loop reserves grabs for unfired kill plans.
+
+        A threshold above the victim's fair share (30 of the run's 48
+        commits) can only be reached because the loop holds back the tail
+        of each iteration for the armed worker; without the reservation
+        the sibling drains the loop and the plan silently never fires.
+        """
+        plan = (KillPlanEntry(slot=1, after_commits=30, point="after_commit"),)
+        result = run_live_shared_memory(
+            circuit,
+            n_procs=2,
+            iterations=ITERATIONS,
+            kill_plan=plan,
+            respawn=True,
+        )
+        assert result.replay_ok
+        assert_complete(result, circuit)
+        crash = result.meta["crash"]
+        assert any(slot == 1 for slot, _inc in crash["confirmed"])
+        assert crash["respawned"] == 1
+        assert crash["crash_dropped_commits"] == 0
+
+    @pytest.mark.timeout(120)
+    def test_sigkill_without_respawn_survivor_salvages(self, circuit):
+        plan = (KillPlanEntry(slot=0, after_commits=2, point="after_ripup"),)
+        result = run_live_shared_memory(
+            circuit,
+            n_procs=2,
+            iterations=ITERATIONS,
+            kill_plan=plan,
+            respawn=False,
+        )
+        assert result.replay_ok
+        assert_complete(result, circuit)
+        crash = result.meta["crash"]
+        assert crash["crash_dropped_commits"] == 0
+        # the killed worker's in-flight wire was adopted by the survivor
+        assert set(result.paths) == set(range(circuit.n_wires))
+
+    @pytest.mark.timeout(120)
+    def test_crash_quality_unaffected(self, circuit):
+        """Salvage must reroute, not drop: quality stays in tolerance."""
+        clean = run_live_shared_memory(circuit, n_procs=1, iterations=ITERATIONS)
+        crashed = run_live_shared_memory(
+            circuit,
+            n_procs=2,
+            iterations=ITERATIONS,
+            kill_plan=(KillPlanEntry(slot=1, after_commits=4),),
+            respawn=True,
+        )
+        assert crashed.replay_ok
+        assert_within_tolerance(crashed.quality, clean.quality)
+
+
+# ---------------------------------------------------------------------------
+# X7: the live-vs-simulated experiment passes its shape checks
+# ---------------------------------------------------------------------------
+def test_x7_experiment_passes():
+    from repro.harness.experiments import run_experiment
+
+    result = run_experiment("X7", quick=True)
+    assert result.passed, result.checks
+    assert result.extras["live_sm_speedup"] > 0
