@@ -22,6 +22,13 @@ Installed as ``locusroute`` (also ``python -m repro``).  Subcommands:
 ``profile``
     Time experiments phase by phase (wall/CPU), dump the kernels' hot
     path counters, and optionally attach cProfile (docs/PERFORMANCE.md).
+``serve``
+    Run the routing service daemon: a JSON/HTTP job queue over the
+    salvage process pool with a SQLite result repository
+    (docs/SERVICE.md).
+``jobs``
+    Talk to a running daemon: submit jobs, poll status, fetch results,
+    list the submission history.
 
 The global ``--kernels {vectorized,reference}`` flag (before the
 subcommand) selects the simulation kernel implementation process-wide;
@@ -42,6 +49,10 @@ Examples
     locusroute verify --quick
     locusroute profile T3 --quick
     locusroute --kernels reference profile T3 T6 --quick --cprofile
+    locusroute serve --port 8642 --jobs 4
+    locusroute jobs submit route --wires 160 --iterations 2 --wait
+    locusroute jobs submit experiment --exp-id T1 --quick --wait
+    locusroute jobs list --timeline
 """
 
 from __future__ import annotations
@@ -114,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_route = sub.add_parser("route", help="sequential LocusRoute")
     _add_circuit_args(p_route)
     p_route.add_argument("--iterations", type=int, default=3)
+    p_route.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON payload (same shape as a service route job)",
+    )
 
     p_mp = sub.add_parser("mp", help="message passing simulation")
     _add_circuit_args(p_mp)
@@ -346,6 +362,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument("--json", action="store_true", help="print a JSON report")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="routing service daemon: HTTP job queue + SQLite repository "
+        "(docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument(
+        "--db",
+        default=".locusroute_service.sqlite",
+        help="SQLite repository file (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="salvage-pool width for job execution (0 = one per CPU)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=".locusroute_cache",
+        help="file cache kept as a read-through layer (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the file-cache read-through layer",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job pool timeout (retried once, then the job fails)",
+    )
+
+    p_jobs = sub.add_parser(
+        "jobs", help="client for a running routing service daemon"
+    )
+    p_jobs.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="service base URL (default: %(default)s)",
+    )
+    jsub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    j_submit = jsub.add_parser("submit", help="submit one job")
+    j_submit.add_argument(
+        "kind", choices=["route", "mp", "sm", "experiment"], help="job kind"
+    )
+    j_submit.add_argument("--name", default=None, help="circuit (bnrE or MDC)")
+    j_submit.add_argument("--wires", type=int, default=None)
+    j_submit.add_argument("--iterations", type=int, default=None)
+    j_submit.add_argument("--procs", type=int, default=None)
+    j_submit.add_argument("--quick", action="store_true")
+    j_submit.add_argument("--send-loc", type=int, default=None, help="mp only")
+    j_submit.add_argument("--send-rmt", type=int, default=None, help="mp only")
+    j_submit.add_argument("--req-loc", type=int, default=None, help="mp only")
+    j_submit.add_argument("--req-rmt", type=int, default=None, help="mp only")
+    j_submit.add_argument("--blocking", action="store_true", help="mp only")
+    j_submit.add_argument("--line-size", type=int, default=None, help="sm only")
+    j_submit.add_argument(
+        "--protocol", choices=["invalidate", "update"], default=None, help="sm only"
+    )
+    j_submit.add_argument("--exp-id", default=None, help="experiment id (T1..)")
+    j_submit.add_argument(
+        "--force", action="store_true", help="recompute even on a stored result"
+    )
+    j_submit.add_argument(
+        "--wait", action="store_true", help="poll until done and print the result"
+    )
+    j_submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait poll budget (seconds)"
+    )
+    j_submit.add_argument("--json", action="store_true")
+
+    j_status = jsub.add_parser("status", help="one job's status record")
+    j_status.add_argument("job_id")
+    j_status.add_argument("--json", action="store_true")
+
+    j_result = jsub.add_parser("result", help="a finished job's payload")
+    j_result.add_argument("job_id")
+
+    j_list = jsub.add_parser("list", help="submission history")
+    j_list.add_argument("--status", default=None, help="filter by status")
+    j_list.add_argument("--limit", type=int, default=20)
+    j_list.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render the latency/status timeline (repro.viz)",
+    )
+    j_list.add_argument("--json", action="store_true")
+
+    jsub.add_parser("stats", help="queue depth, counters, repository counts")
+
     return parser
 
 
@@ -367,6 +478,11 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
 def _cmd_route(args: argparse.Namespace) -> int:
     circuit = _get_circuit(args)
     result = SequentialRouter(circuit, iterations=args.iterations).run()
+    if args.json:
+        from .service.jobs import route_payload
+
+        print(json.dumps(route_payload(result), indent=1, sort_keys=True))
+        return 0
     print(circuit.describe())
     print(f"circuit height:   {result.quality.circuit_height}")
     print(f"occupancy factor: {result.quality.occupancy_factor}")
@@ -694,6 +810,145 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results.values()) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    server = serve(
+        host=args.host,
+        port=args.port,
+        db=args.db,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=default_jobs() if args.jobs == 0 else args.jobs,
+        timeout_s=args.timeout,
+    )
+    host, port = server.server_address[:2]
+    print(f"routing service listening on http://{host}:{port}")
+    print(f"repository: {server.service.repository.path}")
+    cache = server.service.cache
+    print(f"read-through file cache: {cache.directory if cache else 'disabled'}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.service.stop()
+        server.service.repository.close()
+    return 0
+
+
+def _jobs_submit_params(args: argparse.Namespace) -> dict:
+    """The params dict implied by the ``jobs submit`` flags (sparse: only
+    flags the user set are sent; the service fills canonical defaults)."""
+    params = {}
+    if args.kind == "experiment":
+        if args.exp_id is not None:
+            params["exp_id"] = args.exp_id
+        if args.quick:
+            params["quick"] = True
+        return params
+    for flag, name in (
+        ("name", "which"),
+        ("wires", "n_wires"),
+        ("iterations", "iterations"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            params[name] = value
+    if args.quick:
+        params["quick"] = True
+    if args.kind in ("mp", "sm") and args.procs is not None:
+        params["n_procs"] = args.procs
+    if args.kind == "mp":
+        for flag in ("send_loc", "send_rmt", "req_loc", "req_rmt"):
+            value = getattr(args, flag)
+            if value is not None:
+                params[flag] = value
+        if args.blocking:
+            params["blocking"] = True
+    if args.kind == "sm":
+        if args.line_size is not None:
+            params["line_size"] = args.line_size
+        if args.protocol is not None:
+            params["protocol"] = args.protocol
+    return params
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.jobs_command == "submit":
+        record = client.submit(
+            args.kind, _jobs_submit_params(args), force=args.force
+        )
+        if args.wait and record["status"] not in ("done", "failed"):
+            record = client.wait(record["job_id"], timeout_s=args.timeout)
+        if record["status"] == "failed":
+            full = client.status(record["job_id"])
+            print(f"error: {full.get('error') or 'job failed'}", file=sys.stderr)
+            return 1
+        if args.wait:
+            payload = client.result(record["job_id"])["payload"]
+            print(json.dumps(payload, indent=1, sort_keys=True))
+            return 0
+        if args.json:
+            print(json.dumps(record, indent=1))
+        else:
+            extra = f" (dedup of {record['dedup_of']})" if "dedup_of" in record else ""
+            print(f"job {record['job_id']}: {record['status']}{extra}")
+            print(f"fingerprint: {record['fingerprint']}")
+        return 0
+    if args.jobs_command == "status":
+        record = client.status(args.job_id)
+        if args.json:
+            print(json.dumps(record, indent=1))
+        else:
+            for key in ("job_id", "kind", "status", "source", "dedup_of", "error"):
+                if record.get(key) is not None:
+                    print(f"  {key}: {record[key]}")
+        return 0 if record["status"] != "failed" else 1
+    if args.jobs_command == "result":
+        print(json.dumps(client.result(args.job_id)["payload"], indent=1, sort_keys=True))
+        return 0
+    if args.jobs_command == "list":
+        records = client.list_jobs(status=args.status, limit=args.limit)
+        if args.json:
+            print(json.dumps(records, indent=1))
+            return 0
+        if args.timeline:
+            from .viz import ascii_job_timeline
+
+            print(ascii_job_timeline(records))
+            return 0
+        from .harness.tables import render_table
+
+        rows = [
+            {
+                "job": r["job_id"],
+                "kind": r["kind"],
+                "status": r["status"],
+                "source": r.get("source", ""),
+                "wall_s": (
+                    round(r["finished_unix"] - r["started_unix"], 3)
+                    if r.get("finished_unix") and r.get("started_unix")
+                    else ""
+                ),
+                "fingerprint": r["fingerprint"][:12],
+            }
+            for r in records
+        ]
+        print(
+            render_table(
+                "jobs", ["job", "kind", "status", "source", "wall_s", "fingerprint"], rows
+            )
+        )
+        return 0
+    # stats
+    print(json.dumps(client.stats(), indent=1))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -714,6 +969,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
+        "jobs": _cmd_jobs,
     }
     try:
         return handlers[args.command](args)

@@ -49,6 +49,11 @@ class ExperimentError(ReproError):
     """Raised by the experiment harness (unknown experiment id, etc.)."""
 
 
+class ServiceError(ReproError):
+    """Raised by the routing service daemon and its client (bad job
+    specifications, unreachable or failing service endpoints)."""
+
+
 class FaultPlanError(ReproError):
     """Raised for invalid fault-injection plans (bad probabilities,
     malformed outage/stall windows, bad recovery parameters)."""

@@ -18,10 +18,13 @@ Two storage namespaces share one directory:
   per-row simulation cache (they carry numpy arrays and routed paths,
   which JSON cannot round-trip).
 
-All writes are atomic (tmp file + ``os.replace`` in the same directory),
-so a reader can never observe a half-written entry; a corrupted or
-truncated entry is treated as a miss and overwritten on the next run.
-Hits and misses are counted in the global telemetry
+All writes are atomic *and durable* (tmp file + fsync + ``os.replace``
+in the same directory, then a directory fsync), so a reader can never
+observe a half-written entry and a committed entry survives power loss;
+a corrupted or truncated entry is treated as a miss and overwritten on
+the next run.  Set :data:`NO_FSYNC_ENV` (``REPRO_NO_FSYNC=1``) to skip
+the fsyncs — tests and throwaway runs where durability is not worth the
+syscalls.  Hits and misses are counted in the global telemetry
 (``cache.experiment.hits`` etc.) so ``BENCH_harness.json`` can report
 them.
 """
@@ -32,6 +35,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import tempfile
 from dataclasses import asdict, is_dataclass
 from enum import Enum
@@ -42,6 +46,7 @@ from typing import Any, Dict, Optional, Union
 import numpy as np
 
 from .. import __version__
+from ..errors import ExperimentError
 from ..obs import telemetry as obs
 from ..parallel.timing import DEFAULT_COST_MODEL, CostModel
 
@@ -54,23 +59,57 @@ __all__ = [
     "code_fingerprint",
     "circuit_fingerprint",
     "cost_model_fingerprint",
+    "NO_FSYNC_ENV",
 ]
 
 PathLike = Union[str, Path]
 
 #: Bump to invalidate every existing cache entry on a format change.
-CACHE_SCHEMA = 1
+#: 2: type-tagged non-string dict keys in :func:`jsonify` (an ``int`` key
+#: and its string spelling used to canonicalise identically, so two
+#: different fingerprints could share a cache key).
+CACHE_SCHEMA = 2
+
+#: Set to ``1`` to skip the fsyncs in :func:`atomic_write_bytes`
+#: (atomicity is kept; crash durability is given up).
+NO_FSYNC_ENV = "REPRO_NO_FSYNC"
 
 
 # ----------------------------------------------------------------------
 # canonicalisation and hashing
 # ----------------------------------------------------------------------
+#: String keys that *look* like a type tag must themselves be tagged,
+#: otherwise the string key ``"int:1"`` would collide with the int key 1.
+_TAGGED_KEY = re.compile(r"^\w+:")
+
+
+def _jsonify_key(key: Any) -> str:
+    """Canonical string form of a dict key, collision-free across types.
+
+    Non-string keys are type-tagged (``1`` -> ``"int:1"``, ``True`` ->
+    ``"bool:True"``, ``(2, 10)`` -> ``"tuple:(2, 10)"``) so distinct keys
+    that share a spelling — ``{1: x}`` vs ``{"1": x}``, ``{True: x}`` vs
+    ``{1: x}`` — canonicalise differently instead of silently merging
+    into one cache key.  Plain string keys pass through untouched unless
+    they match the tag shape themselves, in which case they get an
+    explicit ``str:`` tag.
+    """
+    if isinstance(key, str):
+        return f"str:{key}" if _TAGGED_KEY.match(key) else key
+    if isinstance(key, np.generic):
+        # numpy scalar reprs differ across numpy versions; the unwrapped
+        # Python value is the stable spelling.
+        return f"{type(key).__name__}:{key.item()!r}"
+    return f"{type(key).__name__}:{key!r}"
+
+
 def jsonify(obj: Any) -> Any:
     """Recursively convert *obj* into JSON-serialisable plain data.
 
     Handles numpy scalars/arrays, tuples, sets, enums, dataclasses, and
-    dicts with non-string keys (keyed by ``repr``) — everything that
-    appears in experiment rows, extras, and configuration fingerprints.
+    dicts with non-string keys (type-tagged, see :func:`_jsonify_key`) —
+    everything that appears in experiment rows, extras, and configuration
+    fingerprints.
     """
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
@@ -83,10 +122,7 @@ def jsonify(obj: Any) -> Any:
     if is_dataclass(obj) and not isinstance(obj, type):
         return jsonify(asdict(obj))
     if isinstance(obj, dict):
-        return {
-            (k if isinstance(k, str) else repr(k)): jsonify(v)
-            for k, v in obj.items()
-        }
+        return {_jsonify_key(k): jsonify(v) for k, v in obj.items()}
     if isinstance(obj, (list, tuple)):
         return [jsonify(v) for v in obj]
     if isinstance(obj, (set, frozenset)):
@@ -143,17 +179,57 @@ def cost_model_fingerprint(cost_model: CostModel = DEFAULT_COST_MODEL) -> Dict[s
 # ----------------------------------------------------------------------
 # atomic writes (shared with runner.save_result)
 # ----------------------------------------------------------------------
+def _fsync_enabled() -> bool:
+    """Durable by default; :data:`NO_FSYNC_ENV` opts out (tests)."""
+    return os.environ.get(NO_FSYNC_ENV, "").strip().lower() not in (
+        "1", "true", "yes",
+    )
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best-effort: platforms/filesystems that cannot open or fsync a
+    directory (e.g. Windows) keep the rename's atomicity and lose only
+    the durability guarantee, exactly like the pre-fsync behaviour.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
-    """Write *data* to *path* atomically (tmp file + rename)."""
+    """Write *data* to *path* atomically and durably.
+
+    tmp file + fsync + rename + directory fsync: the rename makes the
+    write atomic for concurrent readers, the file fsync makes the *data*
+    durable before the name points at it, and the directory fsync makes
+    the *name* durable — without it the commit-log entries and cache
+    files "written atomically" could still vanish wholesale on power
+    loss.  :data:`NO_FSYNC_ENV` skips both fsyncs.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    durable = _fsync_enabled()
     fd, tmp = tempfile.mkstemp(
         dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if durable:
+            _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -208,7 +284,18 @@ class ResultCache:
         return payload
 
     def put_experiment(self, key: str, payload: dict) -> Path:
-        """Store an experiment payload (adds the schema tag)."""
+        """Store an experiment payload (adds the schema tag).
+
+        ``"schema"`` is reserved for the cache's own format tag: a caller
+        payload carrying it would silently override the tag (its entry
+        could then never be invalidated by a schema bump, or would poison
+        every read), so it is rejected loudly instead.
+        """
+        if "schema" in payload:
+            raise ExperimentError(
+                "experiment payloads may not carry the reserved 'schema' "
+                "key (it is the cache's format tag)"
+            )
         payload = {"schema": CACHE_SCHEMA, **payload}
         return atomic_write_text(
             self.experiment_path(key), json.dumps(payload, indent=1)

@@ -1,0 +1,120 @@
+"""Stdlib HTTP client for the routing service daemon.
+
+Used by the ``locusroute jobs`` subcommands, the CI service smoke, and
+any script that wants to talk to a running ``locusroute serve`` without
+extra dependencies.  All methods return the server's decoded JSON; HTTP
+errors surface as :class:`~repro.errors.ServiceError` carrying the
+server's ``error`` message when one was sent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8642", timeout_s: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok_statuses: tuple = (200, 202),
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                payload = {"error": str(exc)}
+            status = exc.code
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach routing service at {self.url}: {exc}"
+            ) from exc
+        if status not in ok_statuses:
+            raise ServiceError(
+                payload.get("error", f"service returned HTTP {status}")
+            )
+        return payload
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("/stats")
+
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        force: bool = False,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns {job_id, fingerprint, kind, status, ...}."""
+        return self._request(
+            "/jobs", body={"kind": kind, "params": params or {}, "force": force}
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The persisted result row of a finished job (409 -> error)."""
+        return self._request(f"/jobs/{job_id}/result")
+
+    def list_jobs(
+        self, status: Optional[str] = None, limit: int = 200
+    ) -> List[Dict[str, Any]]:
+        query = f"?limit={limit}" + (f"&status={status}" if status else "")
+        return self._request(f"/jobs{query}")["jobs"]
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches ``done``/``failed``; returns its record."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.status(job_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['status']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def wait_healthy(self, timeout_s: float = 30.0, poll_s: float = 0.2) -> None:
+        """Block until /health answers (daemon startup)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                self.health()
+                return
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_s)

@@ -12,11 +12,15 @@ The paper's Figures 1-3 are diagrams rather than data plots:
 
 ``examples/figures.py`` renders all three for the tiny demo circuit.
 Rendering is terminal-friendly, dependency-free and deterministic.
+
+Beyond the paper's figures, :func:`ascii_job_timeline` renders the
+routing service's submission history (docs/SERVICE.md) as a latency bar
+chart — ``locusroute jobs list --timeline``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -24,7 +28,12 @@ from .grid.cost_array import CostArray
 from .grid.regions import RegionMap
 from .route.path import RoutePath
 
-__all__ = ["ascii_cost_array", "ascii_regions", "ascii_update_taxonomy"]
+__all__ = [
+    "ascii_cost_array",
+    "ascii_regions",
+    "ascii_update_taxonomy",
+    "ascii_job_timeline",
+]
 
 #: Occupancy glyphs: blank for empty, then increasing density.
 _DENSITY = " .:-=+*#%@"
@@ -92,6 +101,57 @@ def ascii_regions(regions: RegionMap, max_width: int = 100) -> str:
         lines.append("|" + "".join(chars) + "|")
     lines.append("+" + "-" * width + "+")
     lines.append("each glyph is the hex id of the cell's owner processor")
+    return "\n".join(lines)
+
+
+#: Status glyphs of the job timeline (plain ASCII, like everything here).
+_STATUS_GLYPHS = {"done": "=", "failed": "x", "running": ">", "queued": "."}
+
+
+def ascii_job_timeline(
+    jobs: Iterable[Dict[str, object]], max_width: int = 50
+) -> str:
+    """Render routing-service job records as a latency/status timeline.
+
+    One line per job (as returned by ``Repository.jobs()`` — newest
+    first): a bar of ``=`` proportional to the job's wall time relative
+    to the slowest job shown, the status spelled out, and a marker for
+    deduplicated submissions.  Jobs without timing (queued, running,
+    served from the repository or file cache) render their status glyph
+    instead of a bar.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return "(no jobs)"
+    walls = []
+    for job in jobs:
+        started, finished = job.get("started_unix"), job.get("finished_unix")
+        walls.append(
+            float(finished) - float(started)
+            if isinstance(started, (int, float)) and isinstance(finished, (int, float))
+            else None
+        )
+    slowest = max((w for w in walls if w), default=0.0)
+    id_width = max(len(str(j.get("job_id", ""))) for j in jobs)
+    lines = []
+    for job, wall in zip(jobs, walls):
+        status = str(job.get("status", "?"))
+        glyph = _STATUS_GLYPHS.get(status, "?")
+        if wall is not None and slowest > 0:
+            bar = glyph * max(1, round(wall / slowest * max_width))
+            timing = f" {wall:.3f}s"
+        elif wall is not None:
+            bar, timing = glyph, f" {wall:.3f}s"
+        else:
+            bar, timing = glyph, ""
+        dedup = " (dedup)" if job.get("dedup_of") else ""
+        source = job.get("source")
+        via = f" via {source}" if source and source not in ("executed", "dedup") else ""
+        lines.append(
+            f"{str(job.get('job_id', '')).ljust(id_width)} "
+            f"{str(job.get('kind', '')).ljust(10)} "
+            f"{status.ljust(7)} |{bar}|{timing}{dedup}{via}"
+        )
     return "\n".join(lines)
 
 

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -10,7 +12,9 @@ import pytest
 from repro.errors import ExperimentError
 from repro.harness.cache import (
     CACHE_SCHEMA,
+    NO_FSYNC_ENV,
     ResultCache,
+    atomic_write_bytes,
     atomic_write_text,
     code_fingerprint,
     jsonify,
@@ -51,9 +55,28 @@ class TestJsonify:
         assert out == {"n": 3, "v": [1, 2], "t": [1, 2]}
         json.dumps(out)  # fully serialisable
 
-    def test_non_string_dict_keys_use_repr(self):
+    def test_non_string_dict_keys_are_type_tagged(self):
         out = jsonify({(2, 10): "row"})
-        assert out == {"(2, 10)": "row"}
+        assert out == {"tuple:(2, 10)": "row"}
+
+    def test_int_and_string_keys_stay_distinct(self):
+        # Regression: {1: x} and {"1": x} used to canonicalise to the
+        # same JSON and so the same cache key.
+        assert jsonify({1: "x"}) == {"int:1": "x"}
+        assert jsonify({"1": "x"}) == {"1": "x"}
+        assert jsonify({1: "x"}) != jsonify({"1": "x"})
+
+    def test_bool_and_int_keys_stay_distinct(self):
+        assert jsonify({True: "x"}) == {"bool:True": "x"}
+        assert jsonify({1: "x"}) != jsonify({True: "x"})
+
+    def test_tag_shaped_string_keys_get_escaped(self):
+        # The string key "int:1" must not collide with the int key 1.
+        assert jsonify({"int:1": "x"}) == {"str:int:1": "x"}
+        assert jsonify({"int:1": "x"}) != jsonify({1: "x"})
+
+    def test_numpy_scalar_keys_match_python_spelling(self):
+        assert jsonify({np.int64(3): "x"}) == {"int64:3": "x"}
 
     def test_dataclasses_become_dicts(self):
         out = jsonify(UpdateSchedule(send_rmt_every=2, send_loc_every=10))
@@ -72,6 +95,12 @@ class TestStableHash:
         base = {"a": 1, "b": 2}
         assert stable_hash(base) != stable_hash({"a": 1, "b": 3})
         assert stable_hash(base) != stable_hash({"a": 1})
+
+    def test_key_type_changes_hash(self):
+        # Regression: these fingerprints hashed identically before the
+        # type-tagged key canonicalisation.
+        assert stable_hash({"d": {1: "x"}}) != stable_hash({"d": {"1": "x"}})
+        assert stable_hash({"d": {True: "x"}}) != stable_hash({"d": {1: "x"}})
 
     def test_code_fingerprint_stable_within_process(self):
         assert code_fingerprint() == code_fingerprint()
@@ -156,6 +185,82 @@ class TestResultCache:
         cache.put_experiment("k", {"rows": []})
         names = [p.name for p in cache.experiment_path("k").parent.iterdir()]
         assert names == ["k.json"]
+
+    def test_reserved_schema_key_rejected(self, tmp_path):
+        # Regression: {"schema": ..., **payload} let a caller payload
+        # silently override the cache's own format tag.
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ExperimentError, match="schema"):
+            cache.put_experiment("k", {"schema": 99, "rows": []})
+        assert cache.get_experiment("k") is None
+
+
+class TestDurableWrites:
+    def _fsync_calls(self, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd))[1]
+        )
+        return calls
+
+    def test_atomic_write_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        # Regression: atomic_write_bytes never fsynced, so a "committed"
+        # entry (or its name) could vanish on power loss.
+        monkeypatch.delenv(NO_FSYNC_ENV, raising=False)
+        calls = self._fsync_calls(monkeypatch)
+        atomic_write_bytes(tmp_path / "entry.bin", b"payload")
+        assert len(calls) >= 2  # the temp file and its directory
+        assert (tmp_path / "entry.bin").read_bytes() == b"payload"
+
+    def test_no_fsync_env_skips_fsyncs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(NO_FSYNC_ENV, "1")
+        calls = self._fsync_calls(monkeypatch)
+        atomic_write_bytes(tmp_path / "entry.bin", b"payload")
+        assert calls == []
+        assert (tmp_path / "entry.bin").read_bytes() == b"payload"
+
+    def test_failed_write_cleans_up_temp_file(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(NO_FSYNC_ENV, raising=False)
+
+        def boom(fd):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError):
+            atomic_write_bytes(tmp_path / "entry.bin", b"payload")
+        assert list(tmp_path.iterdir()) == []
+
+
+def _concurrent_put_sim(item):
+    """Module-level pool worker (picklable under spawn)."""
+    cache_dir, worker_id = item
+    cache = ResultCache(cache_dir)
+    for _ in range(20):
+        cache.put_sim("shared-key", {"worker": worker_id, "data": np.arange(64)})
+    return worker_id
+
+
+class TestConcurrentCacheAccess:
+    def test_racing_writers_never_corrupt_the_entry(self, tmp_path):
+        """Two processes hammering the same key: readers always see a
+        complete entry (one writer's version, never a torn mix)."""
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(2) as pool:
+            async_result = pool.map_async(
+                _concurrent_put_sim, [(str(tmp_path), 1), (str(tmp_path), 2)]
+            )
+            cache = ResultCache(tmp_path)
+            seen = 0
+            while not async_result.ready():
+                entry = cache.get_sim("shared-key")
+                if entry is not None:
+                    assert entry["worker"] in (1, 2)
+                    np.testing.assert_array_equal(entry["data"], np.arange(64))
+                    seen += 1
+            assert sorted(async_result.get()) == [1, 2]
+        final = ResultCache(tmp_path).get_sim("shared-key")
+        assert final["worker"] in (1, 2)
 
 
 class TestCachedSimRows:
