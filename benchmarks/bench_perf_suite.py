@@ -477,6 +477,19 @@ def bench_live_sm(quick: bool, repeats: int) -> Dict[str, object]:
     return bench_live_sm_speedup(quick, repeats)
 
 
+def _s1_bench(name: str) -> Callable[[bool, int], Dict[str, object]]:
+    """Late-bound S-series scaling entries (bench_s1_scaling.py)."""
+
+    def run(quick: bool, repeats: int) -> Dict[str, object]:
+        try:  # script execution ("python benchmarks/bench_perf_suite.py")
+            from bench_s1_scaling import S1_BENCHES
+        except ImportError:  # package import (pytest collects benchmarks/)
+            from .bench_s1_scaling import S1_BENCHES
+        return S1_BENCHES[name](quick, repeats)
+
+    return run
+
+
 BENCHES = {
     "t3_whole_run": lambda quick, repeats: bench_whole_run("T3", quick, repeats),
     "t6_whole_run": lambda quick, repeats: bench_whole_run("T6", quick, repeats),
@@ -487,6 +500,9 @@ BENCHES = {
     "wormhole_links": bench_wormhole_links,
     "event_queue_cancel": bench_event_queue,
     "live_sm_speedup": bench_live_sm,
+    "s1_plan_waves_10k": _s1_bench("s1_plan_waves_10k"),
+    "s1_route_scaling_10k": _s1_bench("s1_route_scaling_10k"),
+    "s1_stream_replay": _s1_bench("s1_stream_replay"),
 }
 
 

@@ -9,9 +9,12 @@ wire counts.  See DESIGN.md §2 for the substitution rationale.
 from .generate import (
     BNRE_SEED,
     MDC_SEED,
+    SCALED_SEED,
+    ScaledCircuitConfig,
     SyntheticCircuitConfig,
     bnre_like,
     generate,
+    generate_scaled,
     mdc_like,
     tiny_test_circuit,
 )
@@ -31,12 +34,15 @@ __all__ = [
     "Wire",
     "Circuit",
     "SyntheticCircuitConfig",
+    "ScaledCircuitConfig",
     "generate",
+    "generate_scaled",
     "bnre_like",
     "mdc_like",
     "tiny_test_circuit",
     "BNRE_SEED",
     "MDC_SEED",
+    "SCALED_SEED",
     "circuit_to_dict",
     "circuit_from_dict",
     "save_json",

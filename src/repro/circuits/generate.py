@@ -36,17 +36,23 @@ from .model import Circuit, Pin, Wire
 
 __all__ = [
     "SyntheticCircuitConfig",
+    "ScaledCircuitConfig",
     "generate",
+    "generate_scaled",
     "bnre_like",
     "mdc_like",
     "tiny_test_circuit",
     "BNRE_SEED",
     "MDC_SEED",
+    "SCALED_SEED",
 ]
 
 #: Fixed seeds so "bnrE-like" / "MDC-like" mean the same circuit everywhere.
 BNRE_SEED = 19890808
 MDC_SEED = 19890812
+
+#: Default seed of the S-series scale generator (:func:`generate_scaled`).
+SCALED_SEED = 19890816
 
 
 @dataclass(frozen=True)
@@ -173,6 +179,176 @@ def generate(cfg: SyntheticCircuitConfig) -> Circuit:
     wires.sort(key=lambda w: (-w.length_cost(), w.name))
     wires = [Wire(f"w{i:04d}", w.pins) for i, w in enumerate(wires)]
     return Circuit(cfg.name, cfg.n_channels, cfg.n_grids, wires)
+
+
+@dataclass(frozen=True)
+class ScaledCircuitConfig:
+    """Parameters of the Rent-exponent-controlled scale generator.
+
+    Unlike :class:`SyntheticCircuitConfig`'s hand-tuned local/global
+    mixture, the S-series sampler draws horizontal spans from the
+    Donath wirelength distribution implied by Rent's rule,
+    ``P(l) ~ l**-(3 - 2p)`` with ``p`` the Rent exponent — one knob
+    that smoothly trades locality for chip-crossing traffic.  Typical
+    placed designs measure ``p`` between ~0.45 (very local) and ~0.75
+    (interconnect-rich); the default 0.6 sits in the middle.
+
+    Attributes
+    ----------
+    name, n_wires, seed:
+        As in :class:`SyntheticCircuitConfig`.
+    rent_exponent:
+        Donath tail exponent knob ``p`` in ``(0, 1)``.
+    n_channels, n_grids:
+        Explicit dimensions; when ``None`` they scale as
+        ``0.49*sqrt(n_wires)`` x ``16.6*sqrt(n_wires)`` — calibrated so
+        420 wires reproduces bnrE's 10 x 341 footprint and cell density
+        stays constant as the circuit grows.
+    pin_geometric_p, max_pins:
+        Extra pins beyond the first two follow ``Geometric(p) - 1``,
+        capped at ``max_pins`` (same convention as the seed sampler).
+    channel_geometric_p:
+        Vertical extents add ``Geometric(p) - 1`` channels on top of a
+        span-proportional component, so short nets hug one channel and
+        chip-crossers are proportionally taller.
+    """
+
+    name: str
+    n_wires: int
+    seed: int = SCALED_SEED
+    rent_exponent: float = 0.6
+    n_channels: Optional[int] = None
+    n_grids: Optional[int] = None
+    pin_geometric_p: float = 0.55
+    max_pins: int = 12
+    channel_geometric_p: float = 0.65
+
+    def validate(self) -> None:
+        """Raise :class:`CircuitError` on nonsensical parameters."""
+        if self.n_wires < 1:
+            raise CircuitError("n_wires must be >= 1")
+        if not (0.0 < self.rent_exponent < 1.0):
+            raise CircuitError("rent_exponent must be in (0, 1)")
+        if not (0.0 < self.pin_geometric_p <= 1.0):
+            raise CircuitError("pin_geometric_p must be in (0, 1]")
+        if not (0.0 < self.channel_geometric_p <= 1.0):
+            raise CircuitError("channel_geometric_p must be in (0, 1]")
+        if self.max_pins < 2:
+            raise CircuitError("max_pins must be >= 2")
+        if self.n_channels is not None and self.n_channels < 2:
+            raise CircuitError("circuit too small to route in")
+        if self.n_grids is not None and self.n_grids < 4:
+            raise CircuitError("circuit too small to route in")
+
+    def dims(self) -> "tuple[int, int]":
+        """Resolved ``(n_channels, n_grids)`` after sqrt scaling."""
+        root = float(np.sqrt(self.n_wires))
+        n_channels = self.n_channels
+        if n_channels is None:
+            n_channels = max(4, int(round(0.49 * root)))
+        n_grids = self.n_grids
+        if n_grids is None:
+            n_grids = max(16, int(round(16.6 * root)))
+        return n_channels, n_grids
+
+
+def generate_scaled(
+    n_wires: int,
+    *,
+    rent_exponent: float = 0.6,
+    seed: int = SCALED_SEED,
+    name: Optional[str] = None,
+    config: Optional[ScaledCircuitConfig] = None,
+) -> Circuit:
+    """Generate an S-series circuit (deterministic in the seed).
+
+    Sampling is fully vectorised — one :class:`numpy.random.Generator`
+    stream, no per-wire draws — so million-wire circuits build in
+    seconds and the result is bit-for-bit reproducible for a given
+    ``(n_wires, rent_exponent, seed, dims)``.  Wires are emitted in
+    descending length order and renamed positionally, the same netlist
+    convention as :func:`generate`.
+
+    Pass ``config`` to control every knob; the keyword arguments cover
+    the common cases and must then be left at their defaults.
+    """
+    if config is None:
+        config = ScaledCircuitConfig(
+            name=name or f"scaled-{n_wires}w-p{rent_exponent:g}",
+            n_wires=n_wires,
+            seed=seed,
+            rent_exponent=rent_exponent,
+        )
+    elif (
+        name is not None
+        or rent_exponent != 0.6
+        or seed != SCALED_SEED
+        or n_wires != config.n_wires
+    ):
+        raise CircuitError(
+            "pass either a full ScaledCircuitConfig or keyword overrides, "
+            "not both"
+        )
+    config.validate()
+    n = config.n_wires
+    n_channels, n_grids = config.dims()
+    rng = np.random.default_rng(config.seed)
+
+    # Horizontal spans: inverse-CDF sampling of the truncated Donath
+    # power law P(l) ~ l**-(3 - 2p) on [1, n_grids - 1].
+    lengths = np.arange(1, n_grids, dtype=np.float64)
+    pdf = lengths ** -(3.0 - 2.0 * config.rent_exponent)
+    cdf = np.cumsum(pdf)
+    cdf /= cdf[-1]
+    spans = 1 + np.searchsorted(cdf, rng.random(n)).astype(np.int64)
+    spans = np.minimum(spans, n_grids - 1)
+
+    # Vertical extents: span-proportional (chip aspect ratio) plus a
+    # geometric tail so even unit-span nets occasionally hop channels.
+    extents = (spans * n_channels) // n_grids + (
+        rng.geometric(config.channel_geometric_p, n) - 1
+    )
+    extents = np.minimum(extents, n_channels - 1)
+
+    x0 = rng.integers(0, n_grids - spans)
+    x1 = x0 + spans
+    c0 = rng.integers(0, n_channels - extents)
+    c1 = c0 + extents
+    flip = rng.random(n) < 0.5  # which end pin sits on which channel
+
+    # Extra pins (vectorised): geometric counts, then one flat draw of
+    # every extra pin's coordinates inside its wire's bounding box.
+    n_extra = np.minimum(
+        rng.geometric(config.pin_geometric_p, n) - 1, config.max_pins - 2
+    )
+    total = int(n_extra.sum())
+    owner = np.repeat(np.arange(n), n_extra)
+    ex_frac = rng.random(total)
+    ec_frac = rng.random(total)
+    ex = x0[owner] + (ex_frac * (spans[owner] + 1)).astype(np.int64)
+    ec = c0[owner] + (ec_frac * (extents[owner] + 1)).astype(np.int64)
+
+    x0l = x0.tolist()
+    x1l = x1.tolist()
+    c0l = c0.tolist()
+    c1l = c1.tolist()
+    flipl = flip.tolist()
+    exl = ex.tolist()
+    ecl = ec.tolist()
+    bounds = np.concatenate(([0], np.cumsum(n_extra))).tolist()
+
+    wires: List[Wire] = []
+    for i in range(n):
+        if flipl[i]:
+            pins = {Pin(x0l[i], c1l[i]), Pin(x1l[i], c0l[i])}
+        else:
+            pins = {Pin(x0l[i], c0l[i]), Pin(x1l[i], c1l[i])}
+        for j in range(bounds[i], bounds[i + 1]):
+            pins.add(Pin(exl[j], ecl[j]))
+        wires.append(Wire(f"w{i:06d}", pins))
+    wires.sort(key=lambda w: (-w.length_cost(), w.name))
+    wires = [Wire(f"w{i:06d}", w.pins) for i, w in enumerate(wires)]
+    return Circuit(config.name, n_channels, n_grids, wires)
 
 
 def bnre_like(seed: Optional[int] = None, n_wires: Optional[int] = None) -> Circuit:

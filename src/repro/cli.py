@@ -63,7 +63,16 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .circuits import bnre_like, compute_stats, load_json, mdc_like, save_json, save_text
+from .circuits import (
+    SCALED_SEED,
+    bnre_like,
+    compute_stats,
+    generate_scaled,
+    load_json,
+    mdc_like,
+    save_json,
+    save_text,
+)
 from .errors import ReproError
 from .harness.pool import default_jobs
 from .harness.runner import BENCH_FILENAME, run_all
@@ -90,13 +99,33 @@ def _get_circuit(args: argparse.Namespace):
         return bnre_like(n_wires=args.wires)
     if name in ("mdc", "mdc-like"):
         return mdc_like(n_wires=args.wires)
-    raise SystemExit(f"unknown circuit name {args.name!r} (use bnrE or MDC)")
+    if name in ("scaled", "s1"):
+        return generate_scaled(
+            args.wires if args.wires is not None else 10_000,
+            rent_exponent=getattr(args, "rent", None) or 0.6,
+            seed=getattr(args, "circuit_seed", None) or SCALED_SEED,
+        )
+    raise SystemExit(f"unknown circuit name {args.name!r} (use bnrE, MDC, or scaled)")
 
 
 def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--name", default="bnrE", help="benchmark circuit (bnrE or MDC)")
+    parser.add_argument(
+        "--name", default="bnrE", help="benchmark circuit (bnrE, MDC, or scaled)"
+    )
     parser.add_argument("--load", help="load a circuit JSON file instead")
     parser.add_argument("--wires", type=int, default=None, help="override wire count")
+    parser.add_argument(
+        "--rent",
+        type=float,
+        default=None,
+        help="Rent exponent for --name scaled (default 0.6; lower = more local)",
+    )
+    parser.add_argument(
+        "--circuit-seed",
+        type=int,
+        default=None,
+        help="RNG seed for --name scaled (default: fixed S-series seed)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -768,9 +797,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .harness import run_experiment
     from .kernels import active_kernels
-    from .obs import PhaseTimer, hot_counters, profile_call
+    from .obs import PhaseTimer, hot_counters, memory_snapshot, profile_call
 
-    timer = PhaseTimer()
+    timer = PhaseTimer(track_memory=True)
     profiles = {}
     results = {}
     for exp_id in args.ids:
@@ -784,6 +813,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             else:
                 results[exp_id] = run_experiment(exp_id, quick=args.quick)
     counters = hot_counters()
+    memory = memory_snapshot()
     if args.json:
         print(
             json.dumps(
@@ -791,6 +821,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                     "kernels": active_kernels(),
                     "quick": args.quick,
                     "timing": timer.as_dict(),
+                    "memory": memory,
                     "hot_counters": counters,
                     "passed": {k: r.passed for k, r in results.items()},
                 },
@@ -800,6 +831,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     else:
         print(f"kernels: {active_kernels()}  quick: {args.quick}")
         print(timer.render())
+        print(
+            f"memory: rss {memory['rss_bytes'] / 2**20:.1f}MB  "
+            f"peak rss {memory['peak_rss_bytes'] / 2**20:.1f}MB"
+        )
         if counters:
             print("hot-path counters:")
             for name, value in counters.items():

@@ -4,11 +4,20 @@ configurable line size)."""
 
 from .addressing import WORD_BYTES, AddressMap
 from .coherence import WriteBackInvalidate, simulate_trace
-from .columnar import ColumnarTrace, simulate_trace_columnar
+from .columnar import ColumnarTrace, simulate_trace_columnar, simulate_trace_streaming
 from .stats import CoherenceStats
 from .tango import TangoCollector
 from .trace import ReferenceTrace, TraceRecord
-from .trace_io import export_dinero, load_trace, save_trace
+from .trace_io import (
+    TraceChunk,
+    export_dinero,
+    iter_trace_chunks,
+    load_trace,
+    load_trace_stream,
+    open_trace_stream,
+    save_trace,
+    save_trace_stream,
+)
 from .finite_cache import FiniteWriteBackInvalidate, simulate_trace_finite
 from .reference_level import analyze_references, expand_trace, simulate_trace_reference_level
 from .update_protocol import WriteUpdate, simulate_trace_write_update
@@ -30,6 +39,12 @@ __all__ = [
     "simulate_trace_finite",
     "save_trace",
     "load_trace",
+    "save_trace_stream",
+    "load_trace_stream",
+    "open_trace_stream",
+    "iter_trace_chunks",
+    "TraceChunk",
+    "simulate_trace_streaming",
     "export_dinero",
     "expand_trace",
     "analyze_references",

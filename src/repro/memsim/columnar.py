@@ -46,6 +46,7 @@ order; ``j`` is the position of the last write strictly before event
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Union
 
 import numpy as np
@@ -55,8 +56,17 @@ from ..obs import telemetry as obs
 from .addressing import WORD_BYTES, AddressMap
 from .stats import CoherenceStats
 from .trace import ReferenceTrace
+from .trace_io import DEFAULT_CHUNK_REFS, iter_trace_chunks
 
-__all__ = ["ColumnarTrace", "simulate_trace_columnar"]
+__all__ = ["ColumnarTrace", "simulate_trace_columnar", "simulate_trace_streaming"]
+
+
+def _popcount64(values: np.ndarray) -> np.ndarray:
+    """Per-element population count of non-negative int64 values."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(values).astype(np.int32)
+    as_bytes = values.astype("<i8").view(np.uint8).reshape(values.size, 8)
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1, dtype=np.int32)
 
 
 @dataclass(frozen=True)
@@ -277,3 +287,210 @@ def simulate_trace_columnar(
         else ColumnarTrace.from_trace(trace)
     )
     return columnar.replay(n_procs, address_map)
+
+
+def simulate_trace_streaming(
+    source: Union[ReferenceTrace, str, Path],
+    n_procs: int,
+    address_map: AddressMap,
+    *,
+    chunk_refs: int = DEFAULT_CHUNK_REFS,
+) -> CoherenceStats:
+    """Replay a trace in bounded memory; bit-identical to the in-memory
+    engines.
+
+    *source* is an in-memory :class:`~repro.memsim.trace.ReferenceTrace`
+    or the path of a :func:`~repro.memsim.trace_io.save_trace_stream`
+    file.  The trace is consumed in record-aligned chunks of about
+    *chunk_refs* references (:func:`~repro.memsim.trace_io.iter_trace_chunks`),
+    so peak memory is ``O(chunk_refs + address_map.n_lines)`` —
+    independent of trace length.
+
+    Within a chunk the replay runs the same order statistics as
+    :meth:`ColumnarTrace.replay`; chunk boundaries are bridged by three
+    carried per-line arrays that summarize everything earlier events
+    can influence:
+
+    - ``carry_mask`` — bitmask of current sharers (procs whose last
+      access is at or after the line's last write);
+    - ``carry_dirty`` — owning proc while the line is exclusive-dirty,
+      else −1 (alive exactly while the events since the last write form
+      one same-processor run by the writer);
+    - ``carry_ever`` — bitmask of procs that ever touched the line
+      (cold-miss vs refetch classification).
+
+    Per-event outcomes fall back to the carried values only where the
+    within-chunk statistics see no prior write (``j < 0``); the
+    hypothesis tests fuzz bit-identity against the scalar engine across
+    random chunk sizes, including ``chunk_refs=1``.
+    """
+    if not (1 <= n_procs <= 63):
+        raise CoherenceError("n_procs must be in [1, 63]")
+    stats = CoherenceStats(line_size=address_map.line_size)
+    ls = address_map.line_size
+    n_lines = address_map.n_lines
+    carry_mask = np.zeros(n_lines, dtype=np.int64)
+    carry_dirty = np.full(n_lines, -1, dtype=np.int32)
+    carry_ever = np.zeros(n_lines, dtype=np.int64)
+
+    for chunk in iter_trace_chunks(source, chunk_refs=chunk_refs):
+        if chunk.cells.size == 0:
+            continue
+        procs = chunk.procs
+        if int(procs.min()) < 0 or int(procs.max()) >= n_procs:
+            raise CoherenceError("trace references a processor out of range")
+        sizes = np.diff(chunk.offsets)
+        n_write_refs = int(sizes[chunk.writes].sum())
+        stats.n_write_refs += n_write_refs
+        stats.n_read_refs += int(sizes.sum()) - n_write_refs
+
+        lines_all = chunk.cells // address_map.words_per_line
+        if int(lines_all.max()) >= n_lines or int(lines_all.min()) < 0:
+            raise CoherenceError("trace cell outside the address map")
+
+        # Event extraction: one event per (record, line), grouped by
+        # line in global record order — identical to ColumnarTrace.
+        rec_ids = np.repeat(np.arange(procs.size, dtype=np.int32), sizes)
+        order = np.argsort(lines_all, kind="stable")
+        l_sorted = lines_all[order]
+        r_sorted = rec_ids[order]
+        keep = np.empty(l_sorted.size, dtype=bool)
+        keep[0] = True
+        np.logical_or(
+            l_sorted[1:] != l_sorted[:-1],
+            r_sorted[1:] != r_sorted[:-1],
+            out=keep[1:],
+        )
+        if keep.all():
+            ev_line, ev_rec = l_sorted, r_sorted
+        else:
+            ev_line = l_sorted[keep]
+            ev_rec = r_sorted[keep]
+        ev_proc = procs[ev_rec]
+        ev_write = chunk.writes[ev_rec]
+        m = ev_line.size
+        idx = np.arange(m, dtype=np.int32)
+        obs.incr("sim.coherence.columnar_events", m)
+        obs.incr("sim.coherence.stream_chunks")
+
+        new_line = np.empty(m, dtype=bool)
+        new_line[0] = True
+        np.not_equal(ev_line[1:], ev_line[:-1], out=new_line[1:])
+        seg_start = np.where(new_line, idx, np.int32(0))
+        np.maximum.accumulate(seg_start, out=seg_start)
+
+        # j: last write strictly before each event, within the chunk.
+        ff = np.where(ev_write, idx, np.int32(-1))
+        np.maximum.accumulate(ff, out=ff)
+        j = np.empty(m, dtype=np.int32)
+        j[0] = -1
+        j[1:] = ff[:-1]
+        np.copyto(j, np.int32(-1), where=j < seg_start)
+        jpos = j >= np.int32(0)
+
+        # Previous event by the same (line, proc) within the chunk.
+        key = (ev_line.astype(np.int64) << np.int64(6)) | ev_proc
+        by_lp = np.argsort(key, kind="stable")
+        lp_key = key[by_lp]
+        same_lp = np.empty(m, dtype=bool)
+        same_lp[0] = False
+        np.equal(lp_key[1:], lp_key[:-1], out=same_lp[1:])
+        prev_in_sorted = np.empty(m, dtype=np.int64)
+        prev_in_sorted[0] = -1
+        prev_in_sorted[1:] = by_lp[:-1]
+        prev_lp = np.empty(m, dtype=np.int32)
+        prev_lp[by_lp] = np.where(same_lp, prev_in_sorted, np.int64(-1)).astype(
+            np.int32
+        )
+
+        # Carried state, gathered per event; consulted only where the
+        # chunk has no earlier write on the line (~jpos).
+        c_mask = carry_mask[ev_line]
+        c_dirty = carry_dirty[ev_line]
+        c_ever = carry_ever[ev_line]
+        pbit = np.int64(1) << ev_proc.astype(np.int64)
+
+        sharers_has_p = prev_lp >= np.maximum(j, np.int32(0))
+        sharers_has_p |= ~jpos & ((c_mask & pbit) != 0)
+        miss = ~sharers_has_p
+
+        run_break = new_line.copy()
+        run_break[1:] |= ev_proc[1:] != ev_proc[:-1]
+        run_start = np.where(run_break, idx, np.int32(0))
+        np.maximum.accumulate(run_start, out=run_start)
+        run_start_prev = np.empty(m, dtype=np.int32)
+        run_start_prev[0] = 0
+        run_start_prev[1:] = run_start[:-1]
+        prev_proc = np.empty(m, dtype=np.int32)
+        prev_proc[0] = -1
+        prev_proc[1:] = ev_proc[:-1]
+
+        # Dirty before event i: a within-chunk write followed by one
+        # same-proc run, or a carried dirty line whose owner's run is
+        # unbroken through the chunk boundary up to i.
+        at_start = idx == seg_start
+        dirty_alive = jpos & (run_start_prev <= j)
+        dirty_alive |= (
+            ~jpos
+            & (c_dirty >= 0)
+            & (at_start | ((run_start_prev <= seg_start) & (prev_proc == c_dirty)))
+        )
+        dirty_by_me = dirty_alive & (ev_proc == np.where(at_start, c_dirty, prev_proc))
+
+        read_miss = miss & ~ev_write
+        cold = read_miss & (prev_lp < 0) & ((c_ever & pbit) == 0)
+        writeback = miss & dirty_alive
+        word_write = ev_write & ~dirty_by_me
+
+        # Sharer counts: segmented prefix sums of read misses, seeded
+        # with the carried sharer count where the chunk has no write.
+        rm = read_miss.astype(np.int32)
+        cum_excl = np.cumsum(rm, dtype=np.int32)
+        cum_excl -= rm
+        base = cum_excl[np.where(jpos, j, seg_start)]
+        seed = np.where(jpos, np.int32(1), _popcount64(c_mask))
+        n_sharers = seed + cum_excl - base
+        others = n_sharers - sharers_has_p.astype(np.int32)
+        inval = word_write & (others > 0)
+
+        n_cold = int(np.count_nonzero(cold))
+        n_read_miss = int(np.count_nonzero(read_miss))
+        stats.cold_fetch_bytes += n_cold * ls
+        stats.refetch_bytes += (n_read_miss - n_cold) * ls
+        stats.write_miss_fetch_bytes += int(np.count_nonzero(ev_write & miss)) * ls
+        stats.writeback_bytes += int(np.count_nonzero(writeback)) * ls
+        stats.word_write_bytes += int(np.count_nonzero(word_write)) * WORD_BYTES
+        stats.n_invalidation_events += int(np.count_nonzero(inval))
+        stats.n_copies_invalidated += int(others[inval].sum())
+
+        # Roll the carried state forward over this chunk's line groups.
+        starts = np.flatnonzero(new_line)
+        glines = ev_line[starts]
+        group_id = np.cumsum(new_line) - 1
+        jl = np.maximum.reduceat(np.where(ev_write, idx, np.int32(-1)), starts)
+        after_lw = idx > jl[group_id]
+        or_after = np.bitwise_or.reduceat(np.where(after_lw, pbit, np.int64(0)), starts)
+        or_all = np.bitwise_or.reduceat(pbit, starts)
+        ends = np.empty(starts.size, dtype=np.int64)
+        ends[:-1] = starts[1:] - 1
+        ends[-1] = m - 1
+        rs_last = run_start[ends]
+        rp_last = ev_proc[ends]
+        jlpos = jl >= 0
+        writer = ev_proc[np.maximum(jl, 0)]
+        writer_bit = np.int64(1) << writer.astype(np.int64)
+        cd_group = carry_dirty[glines]
+        carry_mask[glines] = np.where(
+            jlpos, writer_bit | or_after, carry_mask[glines] | or_after
+        )
+        carry_ever[glines] |= or_all
+        carry_dirty[glines] = np.where(
+            jlpos,
+            np.where(rs_last <= jl, rp_last, np.int32(-1)),
+            np.where(
+                (cd_group >= 0) & (rs_last == starts) & (rp_last == cd_group),
+                cd_group,
+                np.int32(-1),
+            ),
+        )
+    return stats

@@ -10,7 +10,14 @@ See :mod:`repro.obs.telemetry` for the model.  Typical use::
     print(tel.count("sim.events"), tel.rate("sim.events", "sim.mp"))
 """
 
-from .profiling import PhaseRecord, PhaseTimer, hot_counters, profile_call
+from .profiling import (
+    PhaseRecord,
+    PhaseTimer,
+    hot_counters,
+    memory_snapshot,
+    profile_call,
+    record_peak_memory,
+)
 from .telemetry import (
     Telemetry,
     get_telemetry,
@@ -28,7 +35,9 @@ __all__ = [
     "get_telemetry",
     "hot_counters",
     "incr",
+    "memory_snapshot",
     "profile_call",
+    "record_peak_memory",
     "record_span",
     "reset",
     "snapshot",

@@ -27,26 +27,99 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
+import sys
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 from . import telemetry
 
-__all__ = ["PhaseRecord", "PhaseTimer", "hot_counters", "profile_call"]
+__all__ = [
+    "PhaseRecord",
+    "PhaseTimer",
+    "hot_counters",
+    "memory_snapshot",
+    "profile_call",
+    "record_peak_memory",
+]
 
 #: Counter names (prefixes) the kernels maintain on their hot paths.
-HOT_COUNTER_PREFIXES = ("sim.", "net.", "route.", "coherence.", "events.")
+HOT_COUNTER_PREFIXES = ("sim.", "net.", "route.", "coherence.", "events.", "mem.")
+
+
+def memory_snapshot() -> Dict[str, int]:
+    """Current and peak RSS of this process, in bytes.
+
+    Reads ``/proc/self/status`` (``VmRSS`` / ``VmHWM``) where available
+    and falls back to :func:`resource.getrusage` elsewhere, so it works
+    in every environment the harness runs in without optional deps.
+    When :mod:`tracemalloc` is tracing, the traced current/peak byte
+    counts are included as well (Python-heap only, much smaller than
+    RSS but attributable to allocation sites).
+    """
+    rss = hwm = 0
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    rss = int(line.split()[1]) * 1024
+                elif line.startswith("VmHWM:"):
+                    hwm = int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    if not hwm:
+        try:
+            import resource
+
+            ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is kilobytes on Linux, bytes on macOS.
+            hwm = int(ru_maxrss) * (1 if sys.platform == "darwin" else 1024)
+        except (ImportError, ValueError):
+            hwm = 0
+        rss = rss or hwm
+    snap = {"rss_bytes": rss, "peak_rss_bytes": hwm}
+    if tracemalloc.is_tracing():
+        traced, traced_peak = tracemalloc.get_traced_memory()
+        snap["traced_bytes"] = traced
+        snap["traced_peak_bytes"] = traced_peak
+    return snap
+
+
+_reported_peak = 0
+
+
+def record_peak_memory() -> Dict[str, int]:
+    """Snapshot memory and publish the peak to telemetry.
+
+    The ``mem.peak_rss_bytes`` counter is raised monotonically to this
+    process's high-water mark (repeat calls only add the growth since
+    the last call), so merging worker snapshots sums per-process peaks
+    into a total-footprint figure.  Returns the snapshot.
+    """
+    global _reported_peak
+    snap = memory_snapshot()
+    peak = snap["peak_rss_bytes"]
+    if peak > _reported_peak:
+        telemetry.incr("mem.peak_rss_bytes", peak - _reported_peak)
+        _reported_peak = peak
+    return snap
 
 
 @dataclass(frozen=True)
 class PhaseRecord:
-    """One completed phase: name plus wall and CPU seconds."""
+    """One completed phase: name plus wall and CPU seconds.
+
+    ``peak_rss_bytes`` is the process high-water mark observed at the
+    end of the phase (0 when the timer was built without
+    ``track_memory``).
+    """
 
     name: str
     wall_s: float
     cpu_s: float
+    peak_rss_bytes: int = 0
 
 
 class PhaseTimer:
@@ -65,12 +138,18 @@ class PhaseTimer:
     occurrence in order, which makes per-iteration drift visible).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, track_memory: bool = False) -> None:
         self.records: List[PhaseRecord] = []
+        self.track_memory = track_memory
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Time one phase; also reported as telemetry span ``profile.<name>``."""
+        """Time one phase; also reported as telemetry span ``profile.<name>``.
+
+        With ``track_memory`` the phase also snapshots the process RSS
+        high-water mark on exit and raises the ``mem.peak_rss_bytes``
+        telemetry counter (see :func:`record_peak_memory`).
+        """
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
         try:
@@ -78,7 +157,8 @@ class PhaseTimer:
         finally:
             wall = time.perf_counter() - wall0
             cpu = time.process_time() - cpu0
-            self.records.append(PhaseRecord(name, wall, cpu))
+            peak = record_peak_memory()["peak_rss_bytes"] if self.track_memory else 0
+            self.records.append(PhaseRecord(name, wall, cpu, peak))
             telemetry.record_span(f"profile.{name}", wall, cpu)
 
     @property
@@ -88,25 +168,43 @@ class PhaseTimer:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-safe summary (ordered phase list plus the total)."""
-        return {
-            "phases": [
-                {"name": r.name, "wall_s": r.wall_s, "cpu_s": r.cpu_s}
-                for r in self.records
-            ],
+        phases: List[Dict[str, object]] = []
+        for r in self.records:
+            entry: Dict[str, object] = {
+                "name": r.name,
+                "wall_s": r.wall_s,
+                "cpu_s": r.cpu_s,
+            }
+            if r.peak_rss_bytes:
+                entry["peak_rss_bytes"] = r.peak_rss_bytes
+            phases.append(entry)
+        out: Dict[str, object] = {
+            "phases": phases,
             "total_wall_s": self.total_wall_s,
         }
+        peak = max((r.peak_rss_bytes for r in self.records), default=0)
+        if peak:
+            out["peak_rss_bytes"] = peak
+        return out
 
     def render(self) -> str:
         """Fixed-width phase table with share-of-total percentages."""
         total = self.total_wall_s
+        with_mem = any(r.peak_rss_bytes for r in self.records)
         width = max((len(r.name) for r in self.records), default=4)
-        lines = [f"{'phase':<{width}}  {'wall':>9}  {'cpu':>9}  {'share':>6}"]
+        header = f"{'phase':<{width}}  {'wall':>9}  {'cpu':>9}  {'share':>6}"
+        if with_mem:
+            header += f"  {'peakRSS':>9}"
+        lines = [header]
         for r in self.records:
             share = (r.wall_s / total * 100.0) if total > 0 else 0.0
-            lines.append(
+            line = (
                 f"{r.name:<{width}}  {r.wall_s * 1e3:7.1f}ms  "
                 f"{r.cpu_s * 1e3:7.1f}ms  {share:5.1f}%"
             )
+            if with_mem:
+                line += f"  {r.peak_rss_bytes / 2**20:7.1f}MB"
+            lines.append(line)
         lines.append(f"{'total':<{width}}  {total * 1e3:7.1f}ms")
         return "\n".join(lines)
 

@@ -38,6 +38,7 @@ merely equivalent.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -55,6 +56,7 @@ __all__ = [
     "route_wire_fused",
     "plan_wave",
     "plan_waves",
+    "plan_waves_reference",
     "route_iteration_wavefront",
 ]
 
@@ -604,11 +606,11 @@ def plan_wave(
     return wave, deferred
 
 
-def plan_waves(
+def plan_waves_reference(
     order: Sequence[int],
     footprints: Dict[int, Tuple[int, int, int, int]],
 ) -> List[List[int]]:
-    """The full wave decomposition of *order*, in one pass.
+    """The full wave decomposition of *order*, by the O(n^2) recurrence.
 
     Equivalent to iterating :func:`plan_wave` to exhaustion (wave ``w``
     is the ``w``-th round's wave, members in visit order), via the
@@ -620,6 +622,11 @@ def plan_waves(
     per-round rescan of every deferred wire, and the result depends
     only on (*order*, *footprints*), so callers can cache it across
     iterations.
+
+    This is the differential oracle for :func:`plan_waves` — it tests
+    every wire against *all* earlier wires, so it stays trivially
+    correct but quadratic.  The spatial-index planner must match it
+    bit-for-bit on any input.
     """
     n = len(order)
     if not n:
@@ -643,6 +650,364 @@ def plan_waves(
     waves: List[List[int]] = [[] for _ in range(int(wave_no.max()) + 1)]
     for idx, w in zip(order, wave_no):
         waves[w].append(idx)
+    return waves
+
+
+#: Most distinct wire orders whose wave decompositions are retained per
+#: circuit (least recently used evicted first).  Steady-state routing
+#: reuses one order across iterations, so a handful of slots keeps the
+#: hit rate while bounding memory on runs that keep permuting the order.
+WAVE_CACHE_MAX_ORDERS = 8
+
+#: Below this many wires the quadratic recurrence's tight numpy loop
+#: beats the grid index's setup cost; the dispatch is safe because
+#: both planners are bit-identical.
+_INDEX_MIN_WIRES = 96
+
+#: Coarse-layer bucket width (power of two for shift indexing): each
+#: coarse slot holds the max over 64 fine cells, so wide footprints
+#: query/update O(span/64) coarse slots plus two boundary fine slices.
+_COARSE_SHIFT = 6
+_COARSE = 1 << _COARSE_SHIFT
+
+#: Footprints narrower than this skip the coarse-layer query; a single
+#: C-level slice max over the fine row is cheaper than bucket splits.
+_NARROW = 3 * _COARSE
+
+#: Memory guard: most fine-grid cells the index may allocate
+#: (n_rows * span).  sqrt-scaled circuit dimensions keep multi-million
+#: wire circuits far below this; adversarial coordinates (huge sparse
+#: spans) fall back to the exact quadratic oracle instead.
+_MAX_GRID_CELLS = 1 << 25
+
+
+def plan_waves(
+    order: Sequence[int],
+    footprints: Dict[int, Tuple[int, int, int, int]],
+) -> List[List[int]]:
+    """The full wave decomposition of *order*, via a grid-paint index.
+
+    Same contract and bit-identical output as
+    :func:`plan_waves_reference`, but sub-quadratic in practice: one
+    skyline row per channel holds, for every grid cell, the maximum
+    wave among processed wires covering that cell.  Footprints are
+    axis-aligned rectangles on the grid, so two wires overlap iff
+    their rectangles share a cell — the recurrence maximum for wire
+    ``k`` is exactly the maximum of the skyline over ``k``'s own
+    rectangle, read with C-level ``max()`` over list slices.
+
+    The update exploits the recurrence itself: ``w = best + 1``
+    strictly exceeds every skyline value under the new rectangle
+    (``best`` is their maximum), so committing the wire is a C-level
+    slice *overwrite* — no elementwise maximum anywhere.  A coarse
+    64:1 max layer serves wide footprints (interior read from the
+    coarse row, only the two boundary fragments from the fine row),
+    and two exact prunes cut reads further: a per-row running maximum
+    skips rows that cannot improve ``best``, and the query stops once
+    ``best`` reaches the global maximum wave.  Both leave ``best`` >=
+    every cell under the rectangle, which is all overwrite needs.
+    """
+    n = len(order)
+    if n < _INDEX_MIN_WIRES:
+        return plan_waves_reference(order, footprints)
+
+    boxes = [footprints[idx] for idx in order]
+    clos, xlos, chis, xhis = zip(*boxes)
+    cmin = min(clos)
+    n_rows = max(chis) - cmin + 1
+    xmin = min(xlos)
+    span = max(xhis) - xmin + 1
+    if (
+        n_rows * span > _MAX_GRID_CELLS
+        # Inverted boxes have no grid-cell representation but still
+        # overlap things under the recurrence's interval tests; keep
+        # bit-identity by handing them to the oracle.  Likewise
+        # pathological coordinates (memory guard above).
+        or any(a > b for a, b in zip(clos, chis))
+        or any(a > b for a, b in zip(xlos, xhis))
+    ):
+        return plan_waves_reference(order, footprints)
+
+    # Three layers per channel row, all plain lists so slice reads and
+    # writes run at C speed:
+    #   fine[c][x]   cell skyline, possibly stale under a lazy slot
+    #   lazy[c][B]   pending full-slot overwrite (cell truth is
+    #                max(fine[c][x], lazy[c][x >> 6]))
+    #   coarse[c][B] true per-slot maximum (always >= fine and lazy)
+    n_coarse = ((span - 1) >> _COARSE_SHIFT) + 1
+    fine = [[-1] * span for _ in range(n_rows)]
+    lazy = [[-1] * n_coarse for _ in range(n_rows)]
+    coarse = [[-1] * n_coarse for _ in range(n_rows)]
+    # Waves are built in place: ``w = best + 1`` can exceed the
+    # current maximum by at most one, so a new wave is always a plain
+    # append.  This replaces a second grouping pass over all wires.
+    waves: List[List[int]] = []
+    max_wave = -1  # always len(waves) - 1
+    shift = _COARSE_SHIFT
+
+    for idx, (c0, l, c1, h) in zip(order, boxes):
+        cl = c0 - cmin
+        xl = l - xmin
+        ch0 = c1 - cmin
+        xh2 = h - xmin + 1  # exclusive
+        b0 = xl >> shift
+        b1 = (xh2 - 1) >> shift  # last touched slot
+        if b1 == b0:
+            # Fast path: the whole footprint lies in one coarse slot
+            # (the overwhelmingly common case for local wires).
+            if ch0 == cl:
+                # ... and in one channel row: no loops at all.
+                crow = coarse[cl]
+                row = fine[cl]
+                cb = crow[b0]
+                if xl + 2 == xh2:
+                    # Unit-span wires (two cells) are the single most
+                    # common footprint; direct indexing skips the slice
+                    # allocations of both the query and the commit.
+                    xr = xl + 1
+                    if cb == -1:
+                        w = 0
+                    else:
+                        m = row[xl]
+                        m2 = row[xr]
+                        if m2 > m:
+                            m = m2
+                        m2 = lazy[cl][b0]
+                        if m2 > m:
+                            m = m2
+                        w = m + 1
+                    if w > max_wave:
+                        max_wave = w
+                        waves.append([idx])
+                    else:
+                        waves[w].append(idx)
+                    row[xl] = w
+                    row[xr] = w
+                    if w > cb:
+                        crow[b0] = w
+                    continue
+                if cb == -1:
+                    w = 0  # empty slot: nothing can overlap
+                else:
+                    m = max(row[xl:xh2])
+                    m2 = lazy[cl][b0]
+                    w = (m2 if m2 > m else m) + 1
+                if w > max_wave:
+                    max_wave = w
+                    waves.append([idx])
+                else:
+                    waves[w].append(idx)
+                row[xl:xh2] = [w] * (xh2 - xl)
+                if w > cb:
+                    crow[b0] = w
+                continue
+            if ch0 == cl + 1:
+                # Two channel rows (extent-1 wires are the next most
+                # common): inline both, still loop-free.
+                ch2 = cl + 1
+                crow = coarse[cl]
+                crow2 = coarse[ch2]
+                if xl + 2 == xh2:
+                    # Unit-span again: direct indexing, no slices.
+                    xr = xl + 1
+                    row = fine[cl]
+                    best = -1
+                    if crow[b0] > -1:
+                        best = row[xl]
+                        m2 = row[xr]
+                        if m2 > best:
+                            best = m2
+                        m2 = lazy[cl][b0]
+                        if m2 > best:
+                            best = m2
+                    if crow2[b0] > best:
+                        row2 = fine[ch2]
+                        m = row2[xl]
+                        if m > best:
+                            best = m
+                        m = row2[xr]
+                        if m > best:
+                            best = m
+                        m2 = lazy[ch2][b0]
+                        if m2 > best:
+                            best = m2
+                    w = best + 1
+                    if w > max_wave:
+                        max_wave = w
+                        waves.append([idx])
+                    else:
+                        waves[w].append(idx)
+                    row[xl] = w
+                    row[xr] = w
+                    row2 = fine[ch2]
+                    row2[xl] = w
+                    row2[xr] = w
+                    if w > crow[b0]:
+                        crow[b0] = w
+                    if w > crow2[b0]:
+                        crow2[b0] = w
+                    continue
+                best = -1
+                if crow[b0] > -1:
+                    best = max(fine[cl][xl:xh2])
+                    m2 = lazy[cl][b0]
+                    if m2 > best:
+                        best = m2
+                if crow2[b0] > best:
+                    m = max(fine[ch2][xl:xh2])
+                    if m > best:
+                        best = m
+                    m2 = lazy[ch2][b0]
+                    if m2 > best:
+                        best = m2
+                w = best + 1
+                if w > max_wave:
+                    max_wave = w
+                    waves.append([idx])
+                else:
+                    waves[w].append(idx)
+                seg = [w] * (xh2 - xl)
+                fine[cl][xl:xh2] = seg
+                fine[ch2][xl:xh2] = seg
+                if w > crow[b0]:
+                    crow[b0] = w
+                if w > crow2[b0]:
+                    crow2[b0] = w
+                continue
+            ch = ch0 + 1
+            best = -1
+            if xl + 2 == xh2:
+                # Unit-span, many rows: direct indexing per row.
+                xr = xl + 1
+                for c in range(cl, ch):
+                    if coarse[c][b0] <= best:
+                        continue
+                    row = fine[c]
+                    m = row[xl]
+                    m2 = row[xr]
+                    if m2 > m:
+                        m = m2
+                    m2 = lazy[c][b0]
+                    if m2 > m:
+                        m = m2
+                    if m > best:
+                        best = m
+                        if best >= max_wave:
+                            break
+                w = best + 1
+                if w > max_wave:
+                    max_wave = w
+                    waves.append([idx])
+                else:
+                    waves[w].append(idx)
+                for c in range(cl, ch):
+                    row = fine[c]
+                    row[xl] = w
+                    row[xr] = w
+                    crow = coarse[c]
+                    if w > crow[b0]:
+                        crow[b0] = w
+                continue
+            for c in range(cl, ch):
+                # The slot maximum bounds everything under the
+                # rectangle: a row that cannot beat the current best
+                # is skipped unread.
+                if coarse[c][b0] <= best:
+                    continue
+                m = max(fine[c][xl:xh2])
+                m2 = lazy[c][b0]
+                if m2 > m:
+                    m = m2
+                if m > best:
+                    best = m
+                    if best >= max_wave:
+                        break
+            w = best + 1
+            if w > max_wave:
+                max_wave = w
+                waves.append([idx])
+            else:
+                waves[w].append(idx)
+            seg = [w] * (xh2 - xl)
+            for c in range(cl, ch):
+                fine[c][xl:xh2] = seg
+                crow = coarse[c]
+                if w > crow[b0]:
+                    crow[b0] = w
+            continue
+        ch = ch0 + 1
+        best = -1
+        b1p = b1 + 1
+        wide = xh2 - xl >= _NARROW
+        for c in range(cl, ch):
+            crow = coarse[c]
+            # Slot maxima bound everything under the rectangle: a row
+            # that cannot beat the current best is skipped unread.
+            ub = max(crow[b0:b1p])
+            if ub <= best:
+                continue
+            row = fine[c]
+            lrow = lazy[c]
+            if wide:
+                # Interior slots lie fully under the rectangle, so
+                # their coarse maxima are exact; only the two boundary
+                # fragments read fine cells (plus their lazy slots).
+                m = max(crow[b0 + 1 : b1])
+                m2 = max(row[xl : (b0 + 1) << shift])
+                if m2 > m:
+                    m = m2
+                m2 = max(row[b1 << shift : xh2])
+                if m2 > m:
+                    m = m2
+                m2 = lrow[b0]
+                if m2 > m:
+                    m = m2
+                m2 = lrow[b1]
+                if m2 > m:
+                    m = m2
+            else:
+                m = max(row[xl:xh2])
+                m2 = max(lrow[b0:b1p])
+                if m2 > m:
+                    m = m2
+            if m > best:
+                best = m
+                if best >= max_wave:
+                    break
+        w = best + 1
+        if w > max_wave:
+            max_wave = w
+            waves.append([idx])
+        else:
+            waves[w].append(idx)
+        # Commit: w exceeds every cell under the rectangle, so all
+        # writes are plain overwrites (see docstring).
+        if wide:
+            mid0 = (b0 + 1) << shift
+            mid1 = b1 << shift
+            seg0 = [w] * (mid0 - xl)
+            seg1 = [w] * (xh2 - mid1)
+            nseg = [w] * (b1 - b0 - 1)
+            for c in range(cl, ch):
+                row = fine[c]
+                row[xl:mid0] = seg0
+                row[mid1:xh2] = seg1
+                lazy[c][b0 + 1 : b1] = nseg
+                crow = coarse[c]
+                crow[b0 + 1 : b1] = nseg
+                if w > crow[b0]:
+                    crow[b0] = w
+                if w > crow[b1]:
+                    crow[b1] = w
+        else:
+            seg = [w] * (xh2 - xl)
+            for c in range(cl, ch):
+                fine[c][xl:xh2] = seg
+                crow = coarse[c]
+                for b in range(b0, b1p):
+                    if w > crow[b]:
+                        crow[b] = w
+
     return waves
 
 
@@ -671,18 +1036,25 @@ def route_iteration_wavefront(
 
     # The decomposition depends only on the visit order and the static
     # geometry boxes, so it is identical in every iteration — cache it
-    # on the circuit, keyed by the order.
-    cache: Dict[Tuple[int, ...], List[List[int]]] = getattr(
+    # on the circuit, keyed by the order.  The cache is LRU-bounded:
+    # long rip-up/reroute runs that permute the order (annealed
+    # schedules, per-iteration reorderings) would otherwise retain one
+    # O(n) decomposition per distinct order for the circuit's lifetime.
+    cache: "OrderedDict[Tuple[int, ...], List[List[int]]]" = getattr(
         circuit, "_wf_waves", None
     )
     if cache is None:
-        cache = {}
+        cache = OrderedDict()
         object.__setattr__(circuit, "_wf_waves", cache)
     key = tuple(order)
     waves = cache.get(key)
     if waves is None:
         waves = plan_waves(order, footprints)
         cache[key] = waves
+        while len(cache) > WAVE_CACHE_MAX_ORDERS:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
 
     occupancy = 0
     work = 0

@@ -106,3 +106,113 @@ class TestConfigValidation:
             for p in w.pins:
                 assert 0 <= p.x < c.n_grids
                 assert 0 <= p.channel < c.n_channels
+
+
+class TestScaledGenerator:
+    """The S-series Rent-exponent-controlled scale generator."""
+
+    def test_same_seed_same_circuit(self):
+        from repro.circuits import generate_scaled
+
+        a = generate_scaled(2_000, seed=5)
+        b = generate_scaled(2_000, seed=5)
+        assert a.wires == b.wires
+        assert (a.n_channels, a.n_grids) == (b.n_channels, b.n_grids)
+
+    def test_different_seed_different_circuit(self):
+        from repro.circuits import generate_scaled
+
+        a = generate_scaled(2_000, seed=5)
+        b = generate_scaled(2_000, seed=6)
+        assert a.wires != b.wires
+
+    def test_default_seed_is_pinned(self):
+        from repro.circuits import SCALED_SEED, generate_scaled
+
+        assert generate_scaled(500).wires == generate_scaled(500, seed=SCALED_SEED).wires
+
+    def test_dimensions_scale_with_sqrt_wires(self):
+        from repro.circuits import generate_scaled
+
+        small = generate_scaled(1_000)
+        large = generate_scaled(16_000)  # 16x wires -> 4x linear dims
+        assert large.n_channels == pytest.approx(small.n_channels * 4, rel=0.15)
+        assert large.n_grids == pytest.approx(small.n_grids * 4, rel=0.15)
+
+    def test_calibrated_to_bnre_footprint(self):
+        from repro.circuits import generate_scaled
+
+        c = generate_scaled(420)
+        assert 8 <= c.n_channels <= 12  # bnrE is 10 x 341
+        assert 300 <= c.n_grids <= 380
+
+    def test_rent_exponent_controls_span_tail(self):
+        """Higher Rent exponent -> flatter Donath tail -> longer wires."""
+        from repro.circuits import generate_scaled
+
+        def mean_span(p):
+            c = generate_scaled(4_000, rent_exponent=p, seed=3)
+            spans = [
+                max(pin.x for pin in w.pins) - min(pin.x for pin in w.pins)
+                for w in c.wires
+            ]
+            return sum(spans) / len(spans)
+
+        assert mean_span(0.45) < mean_span(0.6) < mean_span(0.75)
+
+    def test_short_nets_dominate(self):
+        """Donath sampling keeps the canonical local-wiring skew."""
+        from repro.circuits import generate_scaled
+
+        c = generate_scaled(4_000)
+        short = sum(
+            1
+            for w in c.wires
+            if max(p.x for p in w.pins) - min(p.x for p in w.pins)
+            <= c.n_grids // 10
+        )
+        assert short / len(c.wires) > 0.5
+
+    def test_wires_sorted_by_descending_length_cost(self):
+        from repro.circuits import generate_scaled
+
+        c = generate_scaled(1_000)
+        costs = [w.length_cost() for w in c.wires]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_all_pins_on_grid(self):
+        from repro.circuits import generate_scaled
+
+        c = generate_scaled(3_000, rent_exponent=0.75, seed=9)
+        for w in c.wires:
+            for p in w.pins:
+                assert 0 <= p.x < c.n_grids
+                assert 0 <= p.channel < c.n_channels
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(n_wires=0),
+            dict(rent_exponent=0.0),
+            dict(rent_exponent=1.0),
+            dict(max_pins=1),
+            dict(pin_geometric_p=0.0),
+            dict(channel_geometric_p=1.5),
+            dict(n_channels=1),
+            dict(n_grids=2),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kw):
+        from repro.circuits import ScaledCircuitConfig, generate_scaled
+
+        base = dict(name="bad", n_wires=100)
+        base.update(kw)
+        with pytest.raises(CircuitError):
+            generate_scaled(base["n_wires"], config=ScaledCircuitConfig(**base))
+
+    def test_config_and_keyword_overrides_are_exclusive(self):
+        from repro.circuits import ScaledCircuitConfig, generate_scaled
+
+        cfg = ScaledCircuitConfig(name="x", n_wires=100)
+        with pytest.raises(CircuitError):
+            generate_scaled(100, seed=123, config=cfg)

@@ -309,3 +309,51 @@ class TestProfileCommand:
     def test_unknown_experiment_clean_error(self, capsys):
         assert main(["profile", "T99", "--quick"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestScaledCircuit:
+    def test_circuit_scaled_name(self, capsys):
+        assert main(["circuit", "--name", "scaled", "--wires", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "scaled-500w" in out
+
+    def test_scaled_rent_and_seed_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "circuit",
+                    "--name",
+                    "scaled",
+                    "--wires",
+                    "500",
+                    "--rent",
+                    "0.75",
+                    "--circuit-seed",
+                    "42",
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        assert "p0.75" in capsys.readouterr().out
+
+    def test_route_scaled_circuit(self, capsys):
+        assert (
+            main(
+                ["route", "--name", "s1", "--wires", "400", "--iterations", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "height" in out.lower()
+
+    def test_profile_reports_memory(self, capsys):
+        assert main(["profile", "--quick"]) == 0
+        assert "peak rss" in capsys.readouterr().out
+
+    def test_profile_json_includes_memory(self, capsys):
+        import json as _json
+
+        assert main(["profile", "T6", "--quick", "--json"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["memory"]["peak_rss_bytes"] > 0

@@ -86,3 +86,57 @@ class TestProfileCall:
     def test_sort_and_top_forwarded(self):
         _, stats = profile_call(lambda: [i**2 for i in range(100)], sort="calls", top=3)
         assert stats  # formatted table produced
+
+
+class TestMemorySnapshot:
+    def test_reports_positive_rss(self):
+        from repro.obs import memory_snapshot
+
+        snap = memory_snapshot()
+        assert snap["rss_bytes"] > 0
+        assert snap["peak_rss_bytes"] >= snap["rss_bytes"] or snap["peak_rss_bytes"] > 0
+
+    def test_traced_fields_only_while_tracing(self):
+        import tracemalloc
+
+        from repro.obs import memory_snapshot
+
+        assert "traced_bytes" not in memory_snapshot()
+        tracemalloc.start()
+        try:
+            snap = memory_snapshot()
+            assert snap["traced_bytes"] >= 0
+            assert snap["traced_peak_bytes"] >= snap["traced_bytes"]
+        finally:
+            tracemalloc.stop()
+
+    def test_record_peak_memory_feeds_telemetry(self):
+        from repro.obs import record_peak_memory
+        from repro.obs.telemetry import get_telemetry
+
+        snap = record_peak_memory()
+        assert snap["peak_rss_bytes"] > 0
+        assert get_telemetry().counters.get("mem.peak_rss_bytes", 0) > 0
+
+
+class TestPhaseTimerMemoryTracking:
+    def test_track_memory_records_peak_rss(self):
+        timer = PhaseTimer(track_memory=True)
+        with timer.phase("work"):
+            _ = bytearray(1_000_000)
+        rec = timer.records[0]
+        assert rec.peak_rss_bytes > 0
+        d = timer.as_dict()
+        assert d["phases"][0]["peak_rss_bytes"] == rec.peak_rss_bytes
+        assert d["peak_rss_bytes"] >= rec.peak_rss_bytes
+        assert "peakRSS" in timer.render()
+
+    def test_default_timer_omits_memory_columns(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            pass
+        assert timer.records[0].peak_rss_bytes == 0
+        assert "peakRSS" not in timer.render()
+        assert "peak_rss_bytes" not in timer.as_dict()["phases"][0] or (
+            timer.as_dict()["phases"][0].get("peak_rss_bytes", 0) == 0
+        )

@@ -1,0 +1,137 @@
+"""The grid-paint wave planner vs the O(n^2) recurrence oracle.
+
+``plan_waves`` replaced the per-wire vectorized overlap test against all
+earlier wires with a grid-paint skyline index; ``plan_waves_reference``
+keeps the original recurrence as the differential oracle.  Contract:
+identical wave decompositions for *every* order and footprint set —
+including degenerate all-overlapping stacks (everything serializes into
+size-1 waves), all-disjoint layouts (one wave), inverted boxes (defined
+only by the recurrence's interval tests; the index must defer), and
+giant footprints spanning the whole grid (exercising the lazy/coarse
+slot layers).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.route.wavefront import (
+    WAVE_CACHE_MAX_ORDERS,
+    _INDEX_MIN_WIRES,
+    plan_waves,
+    plan_waves_reference,
+)
+
+# Everything here runs above the small-input cutoff so the indexed code
+# path (not the reference fallback) is what's exercised.
+N_WIRES = max(_INDEX_MIN_WIRES, 96) + 32
+
+
+def footprint_strategy(allow_inverted: bool):
+    coord = st.integers(min_value=0, max_value=19)
+    x = st.integers(min_value=0, max_value=220)
+    if allow_inverted:
+        return st.tuples(coord, x, coord, x)
+
+    def ordered(c0, x0, dc, dx):
+        return (c0, x0, c0 + dc, x0 + dx)
+
+    return st.builds(
+        ordered,
+        coord,
+        x,
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=90),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), allow_inverted=st.booleans())
+def test_index_matches_recurrence(data, allow_inverted):
+    footprints = {
+        i: data.draw(footprint_strategy(allow_inverted), label=f"fp{i}")
+        for i in range(N_WIRES)
+    }
+    order = data.draw(st.permutations(list(range(N_WIRES))))
+    assert plan_waves(order, footprints) == plan_waves_reference(order, footprints)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_index_matches_recurrence_partial_orders(data):
+    footprints = {
+        i: data.draw(footprint_strategy(False), label=f"fp{i}")
+        for i in range(N_WIRES * 2)
+    }
+    subset = data.draw(
+        st.lists(
+            st.sampled_from(list(range(N_WIRES * 2))),
+            min_size=N_WIRES,
+            max_size=N_WIRES,
+            unique=True,
+        )
+    )
+    assert plan_waves(subset, footprints) == plan_waves_reference(subset, footprints)
+
+
+def test_degenerate_all_overlapping():
+    footprints = {i: (0, 0, 40, 3000) for i in range(N_WIRES)}
+    order = list(range(N_WIRES))
+    waves = plan_waves(order, footprints)
+    assert waves == plan_waves_reference(order, footprints)
+    assert waves == [[i] for i in order]  # full serialization
+
+
+def test_degenerate_all_disjoint():
+    footprints = {i: (i % 30, (i // 30) * 9, i % 30, (i // 30) * 9 + 7) for i in range(N_WIRES)}
+    order = list(range(N_WIRES))
+    waves = plan_waves(order, footprints)
+    assert waves == plan_waves_reference(order, footprints)
+    assert waves == [order]  # one wave: nothing overlaps
+
+
+def test_giant_and_tiny_mixture():
+    footprints = {}
+    for i in range(N_WIRES):
+        if i % 17 == 0:
+            footprints[i] = (0, 0, 25, 2900)  # spans many coarse slots
+        else:
+            c, x = (i * 7) % 26, (i * 131) % 2800
+            footprints[i] = (c, x, c + 1, x + 12)
+    order = list(range(N_WIRES))
+    assert plan_waves(order, footprints) == plan_waves_reference(order, footprints)
+
+
+def test_small_inputs_fall_back_to_reference():
+    footprints = {i: (0, i, 0, i + 1) for i in range(4)}
+    assert plan_waves([0, 1, 2, 3], footprints) == plan_waves_reference(
+        [0, 1, 2, 3], footprints
+    )
+
+
+def test_wave_cache_is_bounded():
+    from repro.circuits import Circuit, Pin, Wire
+    from repro.route.wavefront import route_iteration_wavefront
+    from repro.grid import CostArray
+
+    n = WAVE_CACHE_MAX_ORDERS + 8  # more wires than trials: rotations stay distinct
+    wires = [
+        Wire(f"w{i}", {Pin(x=i, channel=0), Pin(x=i + 1, channel=1)})
+        for i in range(n)
+    ]
+    circuit = Circuit("cache-test", 4, n + 2, wires)
+    cost = CostArray(circuit.n_channels, circuit.n_grids)
+    base = list(range(len(wires)))
+    orders = []
+    for k in range(WAVE_CACHE_MAX_ORDERS + 5):
+        order = base[k % len(base) :] + base[: k % len(base)]
+        orders.append(tuple(order))
+        route_iteration_wavefront(cost, circuit, order, {}, tie_break=0)
+    cache = getattr(circuit, "_wf_waves")
+    assert len(cache) <= WAVE_CACHE_MAX_ORDERS
+    # Most-recently-used orders survive; the oldest were evicted.
+    for order in orders[-WAVE_CACHE_MAX_ORDERS:]:
+        assert order in cache
+    assert orders[0] not in cache
